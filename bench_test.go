@@ -1,0 +1,201 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment, as indexed in DESIGN.md), plus
+// micro-benchmarks of the simulation hot paths. Each figure benchmark
+// performs the complete experiment — weather synthesis, PV solves, policy
+// simulation — on the reduced "quick" grid; `go run ./cmd/experiments`
+// produces the full-resolution rows the paper reports.
+package solarcore_test
+
+import (
+	"testing"
+
+	"solarcore"
+	"solarcore/internal/exp"
+	"solarcore/internal/power"
+	"solarcore/internal/pv"
+	"solarcore/internal/sched"
+	"solarcore/internal/sim"
+	"solarcore/internal/workload"
+)
+
+func quickLab() *exp.Lab { return exp.NewLab(exp.Options{Quick: true}) }
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Figure1()
+		if len(r.Points) != 4 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := exp.Figure6(128); len(f.Curves) != 4 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := exp.Figure7(128); len(f.Curves) != 4 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := exp.Figure13(quickLab()); len(f.Runs) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := exp.Figure14(quickLab()); len(f.Runs) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := exp.Table7(quickLab()); len(t.Err) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := exp.Figure15(quickLab()); len(f.Rows) != 16 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := exp.Figure16(quickLab()); f.BestRatio() <= 0 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := exp.Figure17(quickLab()); f.BestRatio() <= 0 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := quickLab()
+		l.Prefetch()
+		if f := exp.Figure18(l); f.OverallAverage("MPPT&Opt") <= 0 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := exp.Figure19(quickLab()); len(f.SolarShare) != 4 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure20(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := exp.Figure20(quickLab()); len(f.Buckets) != 5 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure21(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := quickLab()
+		l.Prefetch()
+		if f := exp.Figure21(l); f.Average("MPPT&Opt") <= 0 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkHeadlines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := quickLab()
+		l.Prefetch()
+		if h := exp.Headlines(l); h.AvgUtilization <= 0 {
+			b.Fatal("bad headlines")
+		}
+	}
+}
+
+// --- hot-path micro-benchmarks ---
+
+func BenchmarkPVOperatingPoint(b *testing.B) {
+	m := pv.NewModule(pv.BP3180N())
+	env := pv.Env{Irradiance: 720, CellTemp: 41}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.ResistiveOperating(env, 4.2)
+	}
+}
+
+func BenchmarkPVMPPSolve(b *testing.B) {
+	m := pv.NewModule(pv.BP3180N())
+	env := pv.Env{Irradiance: 720, CellTemp: 41}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MPP(env)
+	}
+}
+
+func BenchmarkControllerTrack(b *testing.B) {
+	chip, err := solarcore.NewChip(solarcore.DefaultChip())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix, _ := workload.MixByName("HM2")
+	mix.Apply(chip)
+	circuit := power.NewCircuit(pv.NewModule(pv.BP3180N()))
+	ctrl, err := solarcore.NewController(circuit, chip, solarcore.PolicyOpt, solarcore.ControllerConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	envs := []pv.Env{{Irradiance: 500, CellTemp: 30}, {Irradiance: 900, CellTemp: 40}, {Irradiance: 700, CellTemp: 35}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Track(envs[i%len(envs)], float64(i))
+	}
+}
+
+func BenchmarkDaySimulation(b *testing.B) {
+	trace := solarcore.GenerateWeather(solarcore.AZ, solarcore.Jul, 0)
+	day, err := solarcore.NewDay(trace, solarcore.BP3180N(), 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix, _ := workload.MixByName("ML2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunMPPT(sim.Config{Day: day, Mix: mix}, sched.OptTPR{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeatherGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		solarcore.GenerateWeather(solarcore.NC, solarcore.Apr, i)
+	}
+}

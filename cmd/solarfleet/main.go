@@ -1,0 +1,108 @@
+// Command solarfleet simulates a solar-powered server cluster sharing one
+// PV array: hierarchical throughput-power-ratio allocation across nodes
+// and cores, emergent consolidation under PSU overhead, and per-node power
+// caps.
+//
+// Usage:
+//
+//	solarfleet [-nodes 4] [-panels 4] [-site AZ] [-season Apr] \
+//	           [-overhead 25] [-cap 0] [-step 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"solarcore/internal/atmos"
+	"solarcore/internal/dc"
+	"solarcore/internal/pv"
+	"solarcore/internal/sim"
+	"solarcore/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("solarfleet: ")
+
+	nodes := flag.Int("nodes", 4, "server nodes in the cluster")
+	panels := flag.Int("panels", 4, "parallel 180 W panels in the shared array")
+	siteCode := flag.String("site", "AZ", "site code: AZ, CO, NC or TN")
+	seasonName := flag.String("season", "Apr", "season: Jan, Apr, Jul or Oct")
+	overhead := flag.Float64("overhead", 25, "fixed PSU/fan power per active node (W)")
+	cap := flag.Float64("cap", 0, "per-node power cap including overhead (W, 0 = uncapped)")
+	step := flag.Float64("step", 1, "sub-sampling step in minutes")
+	day := flag.Int("day", 0, "weather day index")
+	fair := flag.Bool("fair", false, "show the fair-share baseline allocation at midday too")
+	flag.Parse()
+
+	site, err := atmos.SiteByCode(*siteCode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	season, err := atmos.SeasonByName(*seasonName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mixes []workload.Mix
+	for _, name := range []string{"HM2", "ML2", "M2", "L2"} {
+		m, err := workload.MixByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mixes = append(mixes, m)
+	}
+	cluster, err := dc.New(dc.Config{
+		Nodes:         *nodes,
+		Mixes:         mixes,
+		NodeOverheadW: *overhead,
+		NodeCapW:      *cap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr := atmos.Generate(site, season, atmos.GenConfig{Day: *day})
+	solarDay, err := sim.NewSolarDay(tr, pv.BP3180N(), 1, *panels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := dc.RunDay(solarDay, cluster, *step)
+
+	fmt.Printf("cluster      : %d nodes, %d×180 W array, %s\n", *nodes, *panels, tr.Label())
+	fmt.Printf("solar energy : %.0f Wh (%.1f%% utilization of %.0f Wh available)\n",
+		res.SolarWh, res.Utilization()*100, res.MPPEnergyWh)
+	fmt.Printf("utility      : %.0f Wh\n", res.UtilityWh)
+	fmt.Printf("performance  : %.0f giga-instructions on solar\n", res.GInstrSolar)
+	fmt.Printf("solar time   : %.1f%% of daytime\n", 100*res.SolarMin/res.DaytimeMin)
+	fmt.Printf("consolidation: %.2f nodes active on average (of %d)\n", res.MeanActiveNodes, *nodes)
+
+	if *fair {
+		fairCluster, err := dc.New(dc.Config{
+			Nodes: *nodes, Mixes: mixes, NodeOverheadW: *overhead, NodeCapW: *cap,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		budget := 0.96 * solarDay.MPPAt(720) * 0.95
+		fairCluster.FillBudgetFairShare(720, budget)
+		cluster2, _ := dc.New(dc.Config{Nodes: *nodes, Mixes: mixes, NodeOverheadW: *overhead, NodeCapW: *cap})
+		cluster2.FillBudget(720, budget)
+		fmt.Printf("\nmidday baseline comparison at %.0f W budget:\n", budget)
+		fmt.Printf("  global TPR : %d active nodes, %6.2f GIPS\n", cluster2.ActiveNodes(), cluster2.Throughput(720))
+		fmt.Printf("  fair share : %d active nodes, %6.2f GIPS\n", fairCluster.ActiveNodes(), fairCluster.Throughput(720))
+	}
+
+	fmt.Println("\nmidday allocation snapshot:")
+	cluster.FillBudget(720, 0.96*solarDay.MPPAt(720)*0.95)
+	for _, n := range cluster.Nodes {
+		state := "parked"
+		if n.Active() {
+			state = "active"
+		}
+		fmt.Printf("  %s [%s]  %6.1f W  %6.2f GIPS  levels %v\n",
+			n.Name, state, n.Power(720), n.Throughput(720), n.Chip.Levels())
+	}
+}

@@ -1,0 +1,164 @@
+// Command solarsim runs a single configurable day of solar-powered
+// multi-core simulation and reports the paper's metrics.
+//
+// Usage:
+//
+//	solarsim [-site AZ] [-season Jul] [-mix HM2] [-policy MPPT&Opt] \
+//	         [-day 0] [-step 1] [-fixed watts] [-battery U|L] [-series]
+//
+// -fixed and -battery select the baseline runners instead of an MPPT
+// policy. -series prints the per-minute budget/actual trace as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"solarcore"
+	"solarcore/internal/atmos"
+	"solarcore/internal/pv"
+	"solarcore/internal/sim"
+	"solarcore/internal/thermal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("solarsim: ")
+
+	siteCode := flag.String("site", "AZ", "site code: AZ, CO, NC or TN")
+	seasonName := flag.String("season", "Jul", "season: Jan, Apr, Jul or Oct")
+	mixName := flag.String("mix", "HM2", "Table 5 workload mix (H1..ML2)")
+	policy := flag.String("policy", solarcore.PolicyOpt, "MPPT policy: MPPT&IC, MPPT&RR or MPPT&Opt")
+	day := flag.Int("day", 0, "weather day index")
+	days := flag.Int("days", 1, "simulate this many consecutive days (MPPT policies only)")
+	step := flag.Float64("step", 1, "sub-sampling step in minutes")
+	fixed := flag.Float64("fixed", 0, "run the Fixed-Power baseline at this budget (W) instead of MPPT")
+	battery := flag.String("battery", "", "run the battery baseline: U (92% eff) or L (81% eff)")
+	series := flag.Bool("series", false, "print the per-minute budget/actual trace as CSV")
+	mount := flag.String("mount", "fixed", "panel mount: fixed or tracker (single-axis)")
+	shade := flag.String("shade", "", "comma-separated per-bypass-group irradiance scales, e.g. 1,0.3,1")
+	tmax := flag.Float64("tmax", 0, "thermal trip point in °C (0 = unconstrained)")
+	flag.Parse()
+
+	site, err := atmos.SiteByCode(*siteCode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	season, err := atmos.SeasonByName(*seasonName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix, err := solarcore.MixByName(*mixName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trace := solarcore.GenerateWeather(site, season, *day)
+	switch *mount {
+	case "fixed":
+	case "tracker":
+		trace = trace.WithMount(atmos.SingleAxisTracker)
+	default:
+		log.Fatalf("unknown mount %q (want fixed or tracker)", *mount)
+	}
+
+	var solarDay *solarcore.SolarDay
+	var err2 error
+	if *shade != "" {
+		var scales []float64
+		for _, part := range strings.Split(*shade, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				log.Fatalf("bad -shade value: %v", err)
+			}
+			scales = append(scales, v)
+		}
+		gen := pv.PartiallyShadedModule(solarcore.BP3180N(), scales)
+		solarDay, err2 = sim.NewSolarDayGen(trace, gen, solarcore.BP3180N())
+	} else {
+		solarDay, err2 = solarcore.NewDay(trace, solarcore.BP3180N(), 1, 1)
+	}
+	if err2 != nil {
+		log.Fatal(err2)
+	}
+	cfg := solarcore.Config{Day: solarDay, Mix: mix, StepMin: *step, KeepSeries: *series}
+	if *shade != "" {
+		cfg.ScanPoints = 24 // multi-peak curve: enable the global ratio scan
+	}
+	if *tmax > 0 {
+		tc := thermal.DefaultConfig()
+		tc.TMaxC = *tmax
+		cfg.Thermal = &tc
+	}
+
+	if *days > 1 {
+		if *fixed > 0 || *battery != "" {
+			log.Fatal("-days applies to MPPT policies only")
+		}
+		traces := solarcore.GenerateWeatherRun(site, season, *days)
+		var solarDays []*solarcore.SolarDay
+		for _, tr := range traces {
+			d, err := solarcore.NewDay(tr, solarcore.BP3180N(), 1, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			solarDays = append(solarDays, d)
+		}
+		sr, err := solarcore.RunSeries(cfg, *policy, solarDays)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deployment   : %d days of %s at %s, mix %s, %s\n", *days, season, site.Name, mix.Name, *policy)
+		fmt.Printf("utilization  : %.1f%% mean\n", sr.MeanUtilization()*100)
+		fmt.Printf("duration     : %.1f%% of daytime mean\n", sr.MeanEffectiveDuration()*100)
+		fmt.Printf("solar energy : %.0f Wh total\n", sr.TotalSolarWh())
+		fmt.Printf("performance  : %.0f giga-instructions total (PTP)\n", sr.TotalPTP())
+		fmt.Printf("tracking err : %.1f%% pooled geometric mean\n", sr.TrackErrGeoMean()*100)
+		return
+	}
+
+	var res *solarcore.DayResult
+	switch {
+	case *fixed > 0:
+		res, err = solarcore.RunFixedPower(cfg, *fixed)
+	case *battery == "U":
+		res, err = solarcore.RunBattery(cfg, solarcore.BatteryUpperEff)
+	case *battery == "L":
+		res, err = solarcore.RunBattery(cfg, solarcore.BatteryLowerEff)
+	case *battery != "":
+		log.Fatalf("unknown battery bracket %q (want U or L)", *battery)
+	default:
+		res, err = solarcore.Run(cfg, *policy)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("run          : %s, mix %s, %s\n", res.Policy, res.Mix, res.Label)
+	fmt.Printf("insolation   : %.2f kWh/m² (panel MPP energy %.0f Wh)\n", trace.InsolationKWh(), res.MPPEnergyWh)
+	fmt.Printf("solar energy : %.0f Wh consumed (%.1f%% utilization)\n", res.SolarWh, res.Utilization()*100)
+	fmt.Printf("utility      : %.0f Wh\n", res.UtilityWh)
+	fmt.Printf("duration     : %.0f of %.0f daytime minutes on solar (%.1f%%)\n",
+		res.SolarMin, res.DaytimeMin, res.EffectiveDuration()*100)
+	fmt.Printf("performance  : %.0f giga-instructions on solar (PTP), %.0f total\n", res.PTP(), res.GInstrTotal)
+	if len(res.PeriodErrs) > 0 {
+		fmt.Printf("tracking err : %.1f%% (geometric mean over %d periods, %d overloads)\n",
+			res.TrackErrGeoMean()*100, len(res.PeriodErrs), res.Overloads)
+	}
+	if res.ThrottleEvents > 0 {
+		fmt.Printf("thermal      : %d throttle events, peak %.1f °C\n", res.ThrottleEvents, res.PeakTempC)
+	}
+
+	if *series {
+		fmt.Println()
+		w := os.Stdout
+		fmt.Fprintln(w, "minute,budget_w,actual_w,on_solar")
+		for _, p := range res.Series {
+			fmt.Fprintf(w, "%.1f,%.2f,%.2f,%t\n", p.Minute, p.BudgetW, p.ActualW, p.OnSolar)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command tracegen generates synthetic meteorological traces (or summaries
+// of them) for the evaluated sites and seasons, in the CSV layout the
+// simulator's ReadCSV accepts — so generated traces can be inspected,
+// plotted, edited, or replaced by measured NREL MIDC exports.
+//
+// Usage:
+//
+//	tracegen -site AZ -season Jul [-day 0] [-step 1] > jul_az.csv
+//	tracegen -summary             # insolation table for all sites/seasons
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"solarcore/internal/atmos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	siteCode := flag.String("site", "AZ", "site code: AZ, CO, NC or TN")
+	seasonName := flag.String("season", "Jul", "season: Jan, Apr, Jul or Oct")
+	day := flag.Int("day", 0, "day index within the period")
+	step := flag.Float64("step", 1, "sampling step in minutes")
+	summary := flag.Bool("summary", false, "print an insolation summary for every site and season")
+	flag.Parse()
+
+	if *summary {
+		fmt.Printf("%-6s", "site")
+		for _, season := range atmos.Seasons {
+			fmt.Printf("  %8s", season)
+		}
+		fmt.Printf("  %8s\n", "avg")
+		for _, site := range atmos.Sites {
+			fmt.Printf("%-6s", site.Code)
+			sum := 0.0
+			for _, season := range atmos.Seasons {
+				kwh := atmos.Generate(site, season, atmos.GenConfig{Day: *day}).InsolationKWh()
+				sum += kwh
+				fmt.Printf("  %8.2f", kwh)
+			}
+			fmt.Printf("  %8.2f   (%s, %s resource)\n", sum/4, site.Name, site.Potential)
+		}
+		fmt.Println("\nvalues in kWh/m² over the 7:30-17:30 window")
+		return
+	}
+
+	site, err := atmos.SiteByCode(*siteCode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	season, err := atmos.SeasonByName(*seasonName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := atmos.Generate(site, season, atmos.GenConfig{Day: *day, StepMin: *step})
+	if err := tr.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: simulate one July day in Phoenix with a BP3180N panel
+// powering an 8-core chip running the HM2 workload mix under the SolarCore
+// policy (MPPT tracking + throughput-power-ratio allocation).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"solarcore"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Weather: a deterministic synthetic trace for Phoenix in July.
+	trace := solarcore.GenerateWeather(solarcore.AZ, solarcore.Jul, 0)
+	fmt.Printf("weather %s: %.2f kWh/m², peak %.0f W/m²\n",
+		trace.Label(), trace.InsolationKWh(), trace.PeakIrradiance())
+
+	// 2. Panel: one 180 W module, MPP profile precomputed over the day.
+	day, err := solarcore.NewDay(trace, solarcore.BP3180N(), 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Workload: the heterogeneous high/moderate-EPI mix of Table 5.
+	mix, err := solarcore.MixByName("HM2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run one day under SolarCore power management.
+	res, err := solarcore.Run(solarcore.Config{Day: day, Mix: mix}, solarcore.PolicyOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("green-energy utilization : %.1f%%\n", res.Utilization()*100)
+	fmt.Printf("effective solar duration : %.1f%% of daytime\n", res.EffectiveDuration()*100)
+	fmt.Printf("tracking error (geomean) : %.1f%%\n", res.TrackErrGeoMean()*100)
+	fmt.Printf("performance-time product : %.0f giga-instructions on solar power\n", res.PTP())
+	fmt.Printf("utility backup energy    : %.0f Wh\n", res.UtilityWh)
+}

@@ -1,0 +1,3 @@
+module solarcore
+
+go 1.22

@@ -1,0 +1,68 @@
+package atmos
+
+// Climate parameterizes the synthetic weather generator for one (site,
+// season) pair: the clear-sky envelope, the stochastic cloud field, and the
+// ambient temperature swing. Values are calibrated so that per-site daily
+// insolation reproduces the resource ordering of Table 2 (AZ > CO > NC > TN)
+// and the qualitative patterns the paper highlights — e.g. regular mid-winter
+// Phoenix days (Figure 13) versus irregular monsoon-season days (Figure 14),
+// and the highly variable April days at the eastern sites that dominate the
+// Table 7 error column.
+type Climate struct {
+	PeakIrradiance float64 // clear-sky peak, W/m²
+
+	// Cloud events per hour (Poisson rate); each event attenuates the
+	// clear-sky curve by a factor in [1-DepthMax, 1-DepthMin] for a duration
+	// in [DurMin, DurMax] minutes with cosine-smoothed edges.
+	CloudRate float64
+	DepthMin  float64
+	DepthMax  float64
+	DurMin    float64 // minutes
+	DurMax    float64 // minutes
+
+	// Haze is a slow day-scale attenuation band: the whole day is scaled by
+	// a factor drawn uniformly from [1-Haze, 1].
+	Haze float64
+
+	TempMin float64 // °C, early-morning ambient
+	TempMax float64 // °C, mid-afternoon ambient
+}
+
+// climates maps site code and season to generator parameters.
+var climates = map[string][4]Climate{
+	"AZ": {
+		Jan: {PeakIrradiance: 800, CloudRate: 0.15, DepthMin: 0.10, DepthMax: 0.40, DurMin: 5, DurMax: 20, Haze: 0.05, TempMin: 8, TempMax: 20},
+		Apr: {PeakIrradiance: 1030, CloudRate: 0.25, DepthMin: 0.15, DepthMax: 0.55, DurMin: 5, DurMax: 25, Haze: 0.05, TempMin: 15, TempMax: 30},
+		Jul: {PeakIrradiance: 1060, CloudRate: 1.30, DepthMin: 0.30, DepthMax: 0.85, DurMin: 4, DurMax: 30, Haze: 0.08, TempMin: 29, TempMax: 41},
+		Oct: {PeakIrradiance: 900, CloudRate: 0.25, DepthMin: 0.10, DepthMax: 0.45, DurMin: 5, DurMax: 20, Haze: 0.05, TempMin: 18, TempMax: 31},
+	},
+	"CO": {
+		Jan: {PeakIrradiance: 640, CloudRate: 0.55, DepthMin: 0.20, DepthMax: 0.65, DurMin: 8, DurMax: 35, Haze: 0.10, TempMin: -5, TempMax: 7},
+		Apr: {PeakIrradiance: 960, CloudRate: 0.80, DepthMin: 0.25, DepthMax: 0.70, DurMin: 8, DurMax: 40, Haze: 0.08, TempMin: 3, TempMax: 17},
+		Jul: {PeakIrradiance: 1010, CloudRate: 0.85, DepthMin: 0.25, DepthMax: 0.75, DurMin: 5, DurMax: 35, Haze: 0.06, TempMin: 15, TempMax: 31},
+		Oct: {PeakIrradiance: 790, CloudRate: 0.65, DepthMin: 0.20, DepthMax: 0.60, DurMin: 8, DurMax: 35, Haze: 0.10, TempMin: 4, TempMax: 18},
+	},
+	"NC": {
+		Jan: {PeakIrradiance: 580, CloudRate: 0.90, DepthMin: 0.30, DepthMax: 0.80, DurMin: 10, DurMax: 50, Haze: 0.15, TempMin: 1, TempMax: 11},
+		Apr: {PeakIrradiance: 930, CloudRate: 1.60, DepthMin: 0.40, DepthMax: 0.90, DurMin: 10, DurMax: 55, Haze: 0.12, TempMin: 10, TempMax: 22},
+		Jul: {PeakIrradiance: 990, CloudRate: 0.70, DepthMin: 0.20, DepthMax: 0.60, DurMin: 6, DurMax: 30, Haze: 0.08, TempMin: 23, TempMax: 33},
+		Oct: {PeakIrradiance: 700, CloudRate: 1.30, DepthMin: 0.35, DepthMax: 0.85, DurMin: 10, DurMax: 50, Haze: 0.15, TempMin: 12, TempMax: 23},
+	},
+	"TN": {
+		Jan: {PeakIrradiance: 500, CloudRate: 1.20, DepthMin: 0.35, DepthMax: 0.85, DurMin: 12, DurMax: 60, Haze: 0.18, TempMin: -1, TempMax: 9},
+		Apr: {PeakIrradiance: 890, CloudRate: 1.50, DepthMin: 0.40, DepthMax: 0.90, DurMin: 10, DurMax: 55, Haze: 0.12, TempMin: 9, TempMax: 23},
+		Jul: {PeakIrradiance: 950, CloudRate: 1.00, DepthMin: 0.25, DepthMax: 0.70, DurMin: 8, DurMax: 35, Haze: 0.10, TempMin: 21, TempMax: 33},
+		Oct: {PeakIrradiance: 650, CloudRate: 1.50, DepthMin: 0.40, DepthMax: 0.90, DurMin: 12, DurMax: 55, Haze: 0.18, TempMin: 9, TempMax: 22},
+	},
+}
+
+// ClimateFor returns the generator parameters for a site and season. Unknown
+// sites fall back to the TN (lowest-resource) climate so that experimental
+// code never divides by a zero-power day.
+func ClimateFor(site Site, season Season) Climate {
+	cs, ok := climates[site.Code]
+	if !ok {
+		cs = climates["TN"]
+	}
+	return cs[season]
+}

@@ -1,0 +1,81 @@
+package atmos
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets guard the two external input surfaces — the trace CSV
+// loader and the MIDC export parser. Run with `go test -fuzz FuzzReadCSV`
+// for continuous fuzzing; under plain `go test` the seed corpus runs as
+// regression cases. The invariant in both: arbitrary input may be
+// rejected, but must never panic, and accepted input must produce a
+// structurally sound trace.
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("minute,irradiance_wm2,ambient_c\n450,100,20\n451,110,20\n")
+	f.Add("450,100,20\n451,110,20\n")
+	f.Add("minute,irradiance_wm2,ambient_c\nx,y,z\n")
+	f.Add("")
+	f.Add("minute,irradiance_wm2,ambient_c\n450,100\n")
+	f.Add("a,b,c\n1,2,3\n1,2,3\n")
+	f.Add("minute,irradiance_wm2,ambient_c\n450,1e309,20\n451,1,20\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data), AZ, Jan)
+		if err != nil {
+			return
+		}
+		if len(tr.Samples) >= 2 && tr.StepMin <= 0 {
+			t.Fatalf("accepted trace with non-positive step: %v", tr.StepMin)
+		}
+		for i := 1; i < len(tr.Samples); i++ {
+			if tr.Samples[i].Minute <= tr.Samples[i-1].Minute {
+				t.Fatal("accepted non-monotone trace")
+			}
+		}
+		// Accepted traces must survive the downstream accessors.
+		tr.At(500)
+		tr.InsolationKWh()
+		tr.Duration()
+	})
+}
+
+func FuzzReadMIDC(f *testing.F) {
+	f.Add("DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2],Air Temperature [deg C]\n1/15/2009,07:30,12.4,3.2\n1/15/2009,07:40,14.0,3.3\n")
+	f.Add("DATE,PST,Global Horizontal [W/m^2]\n1/15/2009,0730,100\n1/15/2009,0740,120\n")
+	f.Add("garbage")
+	f.Add("DATE,MST,Global Horizontal [W/m^2]\n1/15/2009,99:99,100\n")
+	f.Add("DATE,MST,Global Horizontal [W/m^2]\n")
+	f.Add("DATE,MST,Global Horizontal [W/m^2]\n1/15/2009,08:00,-50\n1/15/2009,08:10,50\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadMIDC(strings.NewReader(data), TN, Oct)
+		if err != nil {
+			return
+		}
+		for _, s := range tr.Samples {
+			if s.Irradiance < 0 {
+				t.Fatal("accepted negative irradiance")
+			}
+			if s.Minute < DayStartMinute || s.Minute > DayEndMinute {
+				t.Fatalf("accepted sample outside the daytime window: %v", s.Minute)
+			}
+		}
+		tr.At(600)
+		tr.PeakIrradiance()
+	})
+}
+
+func FuzzParseMIDCTime(f *testing.F) {
+	for _, s := range []string{"07:30", "0730", "25:99", "", ":", "ab:cd", "12345", "1:2"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := parseMIDCTime(s)
+		if err != nil {
+			return
+		}
+		if m < 0 || m >= 24*60 {
+			t.Fatalf("accepted out-of-range minute %d from %q", m, s)
+		}
+	})
+}

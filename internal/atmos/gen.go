@@ -1,0 +1,198 @@
+package atmos
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"solarcore/internal/mathx"
+)
+
+// GenConfig controls the synthetic weather generator. The zero value asks
+// for the defaults: 1-minute sampling, day 0, seed derived from
+// site/season/day.
+type GenConfig struct {
+	StepMin float64 // sampling step in minutes (default 1)
+	Day     int     // day index within the period; varies the seed
+	Seed    int64   // explicit seed; 0 derives one from site/season/day
+}
+
+// Generate produces a deterministic synthetic daytime trace for the given
+// site and season: the clear-sky envelope of ClimateFor modulated by a
+// Poisson cloud field, a day-scale haze factor, and ±1 % sensor jitter.
+// Identical inputs always produce identical traces.
+func Generate(site Site, season Season, cfg GenConfig) *Trace {
+	if cfg.StepMin <= 0 {
+		cfg.StepMin = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = deriveSeed(site, season, cfg.Day)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cl := ClimateFor(site, season)
+	haze := 1 - cl.Haze*rng.Float64()
+	return generate(site, season, cfg, rng, cl, haze)
+}
+
+// GenerateRun produces n consecutive days with weather persistence: the
+// day-scale haze factor follows an AR(1) process (fronts linger for a few
+// days), while the fast cloud field stays independent day to day. The run
+// is deterministic for a given site, season and base day index.
+func GenerateRun(site Site, season Season, n int, cfg GenConfig) []*Trace {
+	if n < 1 {
+		n = 1
+	}
+	if cfg.StepMin <= 0 {
+		cfg.StepMin = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = deriveSeed(site, season, cfg.Day)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cl := ClimateFor(site, season)
+
+	const persistence = 0.6
+	haze := 1 - cl.Haze*rng.Float64()
+	out := make([]*Trace, n)
+	for d := 0; d < n; d++ {
+		dayCfg := cfg
+		dayCfg.Day = cfg.Day + d
+		out[d] = generate(site, season, dayCfg, rng, cl, haze)
+		fresh := 1 - cl.Haze*rng.Float64()
+		haze = persistence*haze + (1-persistence)*fresh
+	}
+	return out
+}
+
+// generate renders one day from an already-seeded stream and haze factor.
+func generate(site Site, season Season, cfg GenConfig, rng *rand.Rand, cl Climate, haze float64) *Trace {
+	clouds := genClouds(rng, cl)
+
+	n := int(float64(DayMinutes)/cfg.StepMin) + 1
+	tr := &Trace{Site: site, Season: season, StepMin: cfg.StepMin, Samples: make([]Sample, n)}
+	for i := 0; i < n; i++ {
+		minute := float64(DayStartMinute) + float64(i)*cfg.StepMin
+		g := clearSky(cl, season, site.Latitude, minute) * haze * cloudFactor(clouds, minute)
+		g *= 1 + 0.02*(rng.Float64()-0.5) // ±1 % sensor/atmospheric jitter
+		if g < 0 {
+			g = 0
+		}
+		tr.Samples[i] = Sample{
+			Minute:     minute,
+			Irradiance: g,
+			AmbientC:   ambient(cl, minute),
+		}
+	}
+	return tr
+}
+
+// deriveSeed hashes the site code, season and day index into a stable seed.
+func deriveSeed(site Site, season Season, day int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(site.Code))
+	h.Write([]byte(season.String()))
+	h.Write([]byte{byte(day), byte(day >> 8)})
+	s := int64(h.Sum64())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// sunWindow returns sunrise and sunset in minutes after midnight for the
+// season, with a small latitude correction (higher latitude → shorter winter
+// days, longer summer days).
+func sunWindow(season Season, latitude float64) (sunrise, sunset float64) {
+	// Baselines for ~36°N.
+	var sr, ss float64
+	switch season {
+	case Jan:
+		sr, ss = 7*60+20, 17*60+40
+	case Apr:
+		sr, ss = 6*60+30, 19*60+00
+	case Jul:
+		sr, ss = 6*60+00, 19*60+45
+	default: // Oct
+		sr, ss = 7*60+00, 18*60+15
+	}
+	dLat := latitude - 36
+	var stretch float64 // minutes of half-day change per degree latitude
+	switch season {
+	case Jan:
+		stretch = -6
+	case Jul:
+		stretch = +6
+	default:
+		stretch = 0
+	}
+	sr -= dLat * stretch / 2
+	ss += dLat * stretch / 2
+	return sr, ss
+}
+
+// clearSky returns the cloudless irradiance at the given minute: a
+// sin^1.3 arc between sunrise and sunset scaled to the climate's peak.
+func clearSky(cl Climate, season Season, latitude, minute float64) float64 {
+	sr, ss := sunWindow(season, latitude)
+	if minute <= sr || minute >= ss {
+		return 0
+	}
+	phase := math.Sin(math.Pi * (minute - sr) / (ss - sr))
+	return cl.PeakIrradiance * math.Pow(phase, 1.3)
+}
+
+// cloudEvent is one passing cloud: a cosine-edged attenuation dip.
+type cloudEvent struct {
+	start, dur, depth float64
+}
+
+// genClouds draws a Poisson process of cloud events over the daytime window.
+func genClouds(rng *rand.Rand, cl Climate) []cloudEvent {
+	var evs []cloudEvent
+	if cl.CloudRate <= 0 {
+		return evs
+	}
+	t := float64(DayStartMinute)
+	for {
+		gap := rng.ExpFloat64() / cl.CloudRate * 60 // events/hour → minutes
+		t += gap
+		if t >= float64(DayEndMinute) {
+			return evs
+		}
+		evs = append(evs, cloudEvent{
+			start: t,
+			dur:   mathx.Lerp(cl.DurMin, cl.DurMax, rng.Float64()),
+			depth: mathx.Lerp(cl.DepthMin, cl.DepthMax, rng.Float64()),
+		})
+	}
+}
+
+// cloudFactor multiplies the attenuation of all events covering the minute.
+// Each event ramps in and out with a raised-cosine profile so the trace has
+// the smooth dips of real irradiance records rather than square notches.
+func cloudFactor(evs []cloudEvent, minute float64) float64 {
+	f := 1.0
+	for _, e := range evs {
+		if minute < e.start || minute > e.start+e.dur {
+			continue
+		}
+		phase := (minute - e.start) / e.dur            // 0..1 through the event
+		shape := 0.5 * (1 - math.Cos(2*math.Pi*phase)) // 0→1→0
+		f *= 1 - e.depth*shape
+	}
+	return f
+}
+
+// ambient returns the diurnal ambient temperature: rises from the morning
+// minimum to the mid-afternoon maximum (~14:30) and falls off afterwards.
+func ambient(cl Climate, minute float64) float64 {
+	const tMin, tPeak = 7 * 60, 14*60 + 30
+	phase := (minute - tMin) / (tPeak - tMin)
+	if phase < 0 {
+		phase = 0
+	}
+	s := math.Sin(math.Pi / 2 * phase)
+	return cl.TempMin + (cl.TempMax-cl.TempMin)*s
+}

@@ -1,0 +1,218 @@
+package atmos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(AZ, Jan, GenConfig{})
+	b := Generate(AZ, Jan, GenConfig{})
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+	c := Generate(AZ, Jan, GenConfig{Day: 1})
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i].Irradiance != c.Samples[i].Irradiance {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different days should differ")
+	}
+}
+
+func TestGenerateCoversDaytime(t *testing.T) {
+	tr := Generate(CO, Apr, GenConfig{})
+	first, last := tr.Samples[0], tr.Samples[len(tr.Samples)-1]
+	if first.Minute != DayStartMinute {
+		t.Errorf("starts at %v, want %v", first.Minute, DayStartMinute)
+	}
+	if last.Minute != DayEndMinute {
+		t.Errorf("ends at %v, want %v", last.Minute, DayEndMinute)
+	}
+	if got := tr.Duration(); got != DayMinutes {
+		t.Errorf("duration %v, want %v", got, DayMinutes)
+	}
+}
+
+func TestIrradianceBounds(t *testing.T) {
+	for _, site := range Sites {
+		for _, season := range Seasons {
+			cl := ClimateFor(site, season)
+			tr := Generate(site, season, GenConfig{})
+			for _, s := range tr.Samples {
+				if s.Irradiance < 0 {
+					t.Fatalf("%s: negative irradiance %v", tr.Label(), s.Irradiance)
+				}
+				if s.Irradiance > cl.PeakIrradiance*1.02 {
+					t.Fatalf("%s: irradiance %v exceeds clear-sky peak %v", tr.Label(), s.Irradiance, cl.PeakIrradiance)
+				}
+			}
+		}
+	}
+}
+
+func TestResourceOrdering(t *testing.T) {
+	// Table 2: AZ > CO > NC > TN in average daily insolation. Average over
+	// several generated days to smooth cloud randomness.
+	avg := func(site Site) float64 {
+		sum := 0.0
+		const days = 8
+		for d := 0; d < days; d++ {
+			sum += Generate(site, Jan, GenConfig{Day: d}).InsolationKWh()
+			sum += Generate(site, Apr, GenConfig{Day: d}).InsolationKWh()
+			sum += Generate(site, Jul, GenConfig{Day: d}).InsolationKWh()
+			sum += Generate(site, Oct, GenConfig{Day: d}).InsolationKWh()
+		}
+		return sum / (4 * days)
+	}
+	az, co, nc, tn := avg(AZ), avg(CO), avg(NC), avg(TN)
+	if !(az > co && co > nc && nc > tn) {
+		t.Errorf("resource ordering violated: AZ=%.2f CO=%.2f NC=%.2f TN=%.2f", az, co, nc, tn)
+	}
+	if az < 4.5 || az > 7.5 {
+		t.Errorf("AZ daily insolation %.2f kWh, want excellent-resource range", az)
+	}
+	if tn > 4.2 {
+		t.Errorf("TN daily insolation %.2f kWh, want low-resource range", tn)
+	}
+}
+
+func TestJulyAZIsIrregular(t *testing.T) {
+	// Figure 13 vs 14: mid-summer Phoenix days fluctuate much more than
+	// mid-winter ones. Compare total variation of irradiance.
+	tv := func(tr *Trace) float64 {
+		sum := 0.0
+		for i := 1; i < len(tr.Samples); i++ {
+			sum += math.Abs(tr.Samples[i].Irradiance - tr.Samples[i-1].Irradiance)
+		}
+		return sum
+	}
+	var jan, jul float64
+	for d := 0; d < 6; d++ {
+		jan += tv(Generate(AZ, Jan, GenConfig{Day: d}))
+		jul += tv(Generate(AZ, Jul, GenConfig{Day: d}))
+	}
+	if jul < 1.5*jan {
+		t.Errorf("Jul@AZ variation %.0f not clearly above Jan@AZ %.0f", jul, jan)
+	}
+}
+
+func TestAmbientTemperatureShape(t *testing.T) {
+	tr := Generate(TN, Jul, GenConfig{})
+	cl := ClimateFor(TN, Jul)
+	peakT, peakMin := -1e9, 0.0
+	for _, s := range tr.Samples {
+		if s.AmbientC > peakT {
+			peakT, peakMin = s.AmbientC, s.Minute
+		}
+		if s.AmbientC < cl.TempMin-0.5 || s.AmbientC > cl.TempMax+0.5 {
+			t.Fatalf("ambient %v outside [%v,%v]", s.AmbientC, cl.TempMin, cl.TempMax)
+		}
+	}
+	if peakMin < 13*60 || peakMin > 16*60 {
+		t.Errorf("temperature peaks at minute %v, want mid-afternoon", peakMin)
+	}
+}
+
+func TestSeedOverride(t *testing.T) {
+	a := Generate(AZ, Jan, GenConfig{Seed: 42})
+	b := Generate(TN, Jan, GenConfig{Seed: 42})
+	// Same seed but different climates: still different traces.
+	if a.Samples[len(a.Samples)/2].Irradiance == b.Samples[len(b.Samples)/2].Irradiance {
+		t.Error("different sites with same seed should still differ via climate")
+	}
+	c := Generate(AZ, Jan, GenConfig{Seed: 42})
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			t.Fatal("same seed should reproduce exactly")
+		}
+	}
+}
+
+func TestStepConfig(t *testing.T) {
+	tr := Generate(AZ, Apr, GenConfig{StepMin: 10})
+	if tr.StepMin != 10 {
+		t.Errorf("StepMin = %v", tr.StepMin)
+	}
+	if got, want := len(tr.Samples), DayMinutes/10+1; got != want {
+		t.Errorf("samples = %d, want %d", got, want)
+	}
+}
+
+func TestGenerateRunDeterministicAndCorrelated(t *testing.T) {
+	a := GenerateRun(NC, Oct, 5, GenConfig{})
+	b := GenerateRun(NC, Oct, 5, GenConfig{})
+	if len(a) != 5 {
+		t.Fatalf("days = %d", len(a))
+	}
+	for d := range a {
+		if len(a[d].Samples) != len(b[d].Samples) {
+			t.Fatal("run not deterministic in length")
+		}
+		for i := range a[d].Samples {
+			if a[d].Samples[i] != b[d].Samples[i] {
+				t.Fatalf("day %d sample %d differs", d, i)
+			}
+		}
+	}
+	// Consecutive days differ (independent cloud fields).
+	same := true
+	for i := range a[0].Samples {
+		if a[0].Samples[i].Irradiance != a[1].Samples[i].Irradiance {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("consecutive days identical")
+	}
+}
+
+func TestGenerateRunPersistenceRaisesAutocorrelation(t *testing.T) {
+	// Daily insolation of a persistent run should correlate with its lag-1
+	// neighbour more than independent days do. Average the lag-1 sample
+	// autocovariance sign over several long runs to keep the test stable.
+	autocov := func(xs []float64) float64 {
+		n := len(xs)
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		num := 0.0
+		for i := 1; i < n; i++ {
+			num += (xs[i] - mean) * (xs[i-1] - mean)
+		}
+		return num / float64(n-1)
+	}
+	var runCov, indCov float64
+	const days = 24
+	for rep := 0; rep < 4; rep++ {
+		run := GenerateRun(TN, Oct, days, GenConfig{Day: rep * 100})
+		var rs, is []float64
+		for d := 0; d < days; d++ {
+			rs = append(rs, run[d].InsolationKWh())
+			is = append(is, Generate(TN, Oct, GenConfig{Day: rep*100 + d}).InsolationKWh())
+		}
+		runCov += autocov(rs)
+		indCov += autocov(is)
+	}
+	if runCov <= indCov {
+		t.Errorf("persistent-run lag-1 autocovariance %.4f not above independent %.4f", runCov, indCov)
+	}
+}
+
+func TestGenerateRunClampsCount(t *testing.T) {
+	if got := len(GenerateRun(AZ, Jan, 0, GenConfig{})); got != 1 {
+		t.Errorf("n=0 gave %d days", got)
+	}
+}

@@ -1,0 +1,99 @@
+package atmos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// sampleMIDC builds a synthetic MIDC export covering the whole day at the
+// given step.
+func sampleMIDC(stepMin int) string {
+	var b strings.Builder
+	b.WriteString("DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2],Air Temperature [deg C]\n")
+	for m := 0; m < 24*60; m += stepMin {
+		ghi := 0.0
+		if m > 6*60 && m < 18*60 {
+			ghi = float64(800 - (m-12*60)*(m-12*60)/500)
+		}
+		if ghi < 0 {
+			ghi = -1.5 // pyranometer night offset
+		}
+		fmt.Fprintf(&b, "1/15/2009,%02d:%02d,%.1f,%.1f\n", m/60, m%60, ghi, 5.0+float64(m)/200)
+	}
+	return b.String()
+}
+
+func TestReadMIDC(t *testing.T) {
+	tr, err := ReadMIDC(strings.NewReader(sampleMIDC(10)), AZ, Jan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StepMin != 10 {
+		t.Errorf("step = %v", tr.StepMin)
+	}
+	first, last := tr.Samples[0], tr.Samples[len(tr.Samples)-1]
+	if first.Minute < DayStartMinute || last.Minute > DayEndMinute {
+		t.Errorf("window [%v,%v] outside daytime", first.Minute, last.Minute)
+	}
+	for _, s := range tr.Samples {
+		if s.Irradiance < 0 {
+			t.Fatal("negative irradiance survived")
+		}
+	}
+	if tr.Label() != "Jan@AZ" {
+		t.Errorf("label = %q", tr.Label())
+	}
+	// The loaded trace must drive the rest of the stack.
+	if tr.InsolationKWh() <= 0 {
+		t.Error("no insolation")
+	}
+}
+
+func TestReadMIDCHHMMFormat(t *testing.T) {
+	data := "DATE,PST,Global Horizontal [W/m^2]\n" +
+		"1/15/2009,0730,100\n1/15/2009,0740,120\n1/15/2009,0750,130\n"
+	tr, err := ReadMIDC(strings.NewReader(data), CO, Apr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 3 || tr.Samples[0].Minute != 450 {
+		t.Errorf("samples: %+v", tr.Samples)
+	}
+	// Missing temperature column defaults to 25 °C.
+	if tr.Samples[0].AmbientC != 25 {
+		t.Errorf("default ambient = %v", tr.Samples[0].AmbientC)
+	}
+}
+
+func TestReadMIDCErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"no,useful,columns\n1,2,3\n",
+		"DATE,MST,Global Horizontal [W/m^2]\n1/15/2009,xx:yy,100\n",
+		"DATE,MST,Global Horizontal [W/m^2]\n1/15/2009,08:00,abc\n",
+		"DATE,MST,Global Horizontal [W/m^2]\n1/15/2009,08:00,100\n1/15/2009,08:10,100\n1/15/2009,08:15,100\n",
+		"DATE,MST,Global Horizontal [W/m^2]\n1/15/2009,03:00,0\n1/15/2009,03:10,0\n", // all outside window
+		"DATE,MST,Global Horizontal [W/m^2],Air Temperature [deg C]\n1/15/2009,08:00,100,bad\n1/15/2009,08:10,100,5\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadMIDC(strings.NewReader(c), AZ, Jan); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseMIDCTime(t *testing.T) {
+	good := map[string]int{"07:30": 450, "0730": 450, "23:59": 1439, " 12:00 ": 720}
+	for s, want := range good {
+		got, err := parseMIDCTime(s)
+		if err != nil || got != want {
+			t.Errorf("parse %q = %d, %v; want %d", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"25:00", "12:61", "730", "", "ab:cd", "abcd"} {
+		if _, err := parseMIDCTime(s); err == nil {
+			t.Errorf("parse %q should fail", s)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package atmos
+
+import "math"
+
+// Mount selects how the panel is aimed. The synthetic traces are
+// plane-of-array values for a fixed-tilt mount; a single-axis tracker
+// follows the sun east to west and harvests substantially more in the
+// mornings and evenings — but only from the direct beam, so its advantage
+// fades under clouds.
+type Mount int
+
+// Mount options.
+const (
+	FixedTilt Mount = iota
+	SingleAxisTracker
+)
+
+// String names the mount.
+func (m Mount) String() string {
+	switch m {
+	case FixedTilt:
+		return "fixed-tilt"
+	case SingleAxisTracker:
+		return "single-axis tracker"
+	default:
+		return "Mount(?)"
+	}
+}
+
+// maxTrackerGain bounds the low-sun boost of a single-axis tracker over a
+// fixed tilt (cosine-loss recovery saturates as the beam flattens).
+const maxTrackerGain = 1.45
+
+// WithMount returns a copy of the trace as seen by the given mount. For
+// FixedTilt the trace is returned unchanged (it already is plane-of-array
+// for a fixed tilt). For SingleAxisTracker each sample is scaled by the
+// cosine-loss recovery factor, attenuated by the clear-sky index so that
+// diffuse (cloudy) light — which a tracker cannot aim at — gains nothing.
+func (t *Trace) WithMount(m Mount) *Trace {
+	if m == FixedTilt {
+		return t
+	}
+	out := &Trace{Site: t.Site, Season: t.Season, StepMin: t.StepMin, Samples: make([]Sample, len(t.Samples))}
+	cl := ClimateFor(t.Site, t.Season)
+	for i, s := range t.Samples {
+		gain := trackerGain(cl, t.Season, t.Site.Latitude, s.Minute, s.Irradiance)
+		out.Samples[i] = Sample{Minute: s.Minute, Irradiance: s.Irradiance * gain, AmbientC: s.AmbientC}
+	}
+	return out
+}
+
+// trackerGain computes the single-axis gain at one sample: the fixed mount
+// loses cos(hour angle proxy) of the beam; the tracker recovers it, capped
+// at maxTrackerGain, weighted by the clear-sky index kt (diffuse light has
+// no direction to track).
+func trackerGain(cl Climate, season Season, latitude, minute, irradiance float64) float64 {
+	sr, ss := sunWindow(season, latitude)
+	if minute <= sr || minute >= ss {
+		return 1
+	}
+	elevation := math.Sin(math.Pi * (minute - sr) / (ss - sr)) // 0..1 proxy
+	recover := 1 / math.Max(elevation, 1/maxTrackerGain)       // 1 at noon → cap at low sun
+
+	clear := clearSky(cl, season, latitude, minute)
+	kt := 1.0
+	if clear > 0 {
+		kt = math.Min(irradiance/clear, 1)
+	}
+	return 1 + (recover-1)*kt
+}

@@ -1,0 +1,70 @@
+package atmos
+
+import (
+	"testing"
+)
+
+func TestFixedTiltIsIdentity(t *testing.T) {
+	tr := Generate(AZ, Apr, GenConfig{})
+	if got := tr.WithMount(FixedTilt); got != tr {
+		t.Error("fixed tilt should return the trace unchanged")
+	}
+}
+
+func TestTrackerGainsEnergy(t *testing.T) {
+	for _, site := range []Site{AZ, TN} {
+		tr := Generate(site, Apr, GenConfig{})
+		tracked := tr.WithMount(SingleAxisTracker)
+		gain := tracked.InsolationKWh() / tr.InsolationKWh()
+		// Single-axis trackers typically harvest 15-35 % more daily energy.
+		if gain < 1.05 || gain > 1.45 {
+			t.Errorf("%s: tracker gain %.3f outside the plausible band", site.Code, gain)
+		}
+	}
+}
+
+func TestTrackerGainsMostAtLowSun(t *testing.T) {
+	tr := Generate(AZ, Apr, GenConfig{})
+	tracked := tr.WithMount(SingleAxisTracker)
+	ratioAt := func(minute float64) float64 {
+		g0, _ := tr.At(minute)
+		g1, _ := tracked.At(minute)
+		if g0 == 0 {
+			return 1
+		}
+		return g1 / g0
+	}
+	morning := ratioAt(480) // 8:00
+	noon := ratioAt(760)    // ~12:40 solar noon-ish
+	if morning <= noon {
+		t.Errorf("tracker should gain more in the morning: %.3f vs noon %.3f", morning, noon)
+	}
+	if noon > 1.1 {
+		t.Errorf("noon gain %.3f, want near 1 (fixed tilt already faces the sun)", noon)
+	}
+}
+
+func TestTrackerGainBounded(t *testing.T) {
+	for _, season := range Seasons {
+		tr := Generate(NC, season, GenConfig{})
+		tracked := tr.WithMount(SingleAxisTracker)
+		for i := range tr.Samples {
+			g0, g1 := tr.Samples[i].Irradiance, tracked.Samples[i].Irradiance
+			if g1 < g0-1e-9 {
+				t.Fatalf("tracker lost energy at sample %d", i)
+			}
+			if g0 > 0 && g1/g0 > maxTrackerGain+1e-9 {
+				t.Fatalf("gain %.3f exceeds cap at sample %d", g1/g0, i)
+			}
+		}
+	}
+}
+
+func TestMountString(t *testing.T) {
+	if FixedTilt.String() != "fixed-tilt" || SingleAxisTracker.String() != "single-axis tracker" {
+		t.Error("mount names wrong")
+	}
+	if Mount(9).String() != "Mount(?)" {
+		t.Error("unknown mount should stringify")
+	}
+}

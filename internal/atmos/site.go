@@ -1,0 +1,91 @@
+// Package atmos supplies the atmospheric inputs of the simulation:
+// irradiance and ambient-temperature traces for the four NREL MIDC
+// measurement sites the paper evaluates (Table 2), across the four seasons
+// (mid Jan/Apr/Jul/Oct), over the paper's daytime window 7:30–17:30.
+//
+// The paper replays measured MIDC records; this package substitutes a
+// deterministic synthetic generator — a clear-sky curve modulated by a
+// seeded stochastic cloud process calibrated per site and season — plus CSV
+// import/export so measured records can be dropped in unchanged. The
+// controller only ever sees the resulting (G, T) sample stream.
+package atmos
+
+import "fmt"
+
+// Daytime window of the evaluation: 7:30 to 17:30 local (Section 5).
+const (
+	DayStartMinute = 7*60 + 30  // minutes after midnight
+	DayEndMinute   = 17*60 + 30 // minutes after midnight
+	DayMinutes     = DayEndMinute - DayStartMinute
+)
+
+// Site is one of the evaluated geographic locations (Table 2).
+type Site struct {
+	Code          string  // short code used throughout results ("AZ")
+	Station       string  // MIDC station id ("PFCI")
+	Name          string  // human-readable location
+	Potential     string  // solar resource class from Table 2
+	InsolationKWh float64 // nominal resource, kWh/m²/day
+	Latitude      float64 // degrees north
+}
+
+// The four evaluated sites (Table 2).
+var (
+	AZ = Site{Code: "AZ", Station: "PFCI", Name: "Phoenix, AZ", Potential: "Excellent", InsolationKWh: 6.0, Latitude: 33.4}
+	CO = Site{Code: "CO", Station: "BMS", Name: "Golden, CO", Potential: "Good", InsolationKWh: 5.5, Latitude: 39.7}
+	NC = Site{Code: "NC", Station: "ECSU", Name: "Elizabeth City, NC", Potential: "Moderate", InsolationKWh: 4.5, Latitude: 36.3}
+	TN = Site{Code: "TN", Station: "ORNL", Name: "Oak Ridge, TN", Potential: "Low", InsolationKWh: 3.8, Latitude: 36.0}
+)
+
+// Sites lists the evaluated sites in the paper's order (best resource first).
+var Sites = []Site{AZ, CO, NC, TN}
+
+// SiteByCode returns the site with the given code.
+func SiteByCode(code string) (Site, error) {
+	for _, s := range Sites {
+		if s.Code == code {
+			return s, nil
+		}
+	}
+	return Site{}, fmt.Errorf("atmos: unknown site %q", code)
+}
+
+// Season selects one of the four evaluated mid-month periods.
+type Season int
+
+// The evaluated seasons (middle of Jan, Apr, Jul and Oct 2009).
+const (
+	Jan Season = iota
+	Apr
+	Jul
+	Oct
+)
+
+// Seasons lists the evaluated seasons in calendar order.
+var Seasons = []Season{Jan, Apr, Jul, Oct}
+
+// String returns the three-letter month name.
+func (s Season) String() string {
+	switch s {
+	case Jan:
+		return "Jan"
+	case Apr:
+		return "Apr"
+	case Jul:
+		return "Jul"
+	case Oct:
+		return "Oct"
+	default:
+		return fmt.Sprintf("Season(%d)", int(s))
+	}
+}
+
+// SeasonByName parses a three-letter month name ("Jan", "Apr", "Jul", "Oct").
+func SeasonByName(name string) (Season, error) {
+	for _, s := range Seasons {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("atmos: unknown season %q", name)
+}

@@ -1,0 +1,126 @@
+package atmos
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAtInterpolates(t *testing.T) {
+	tr := &Trace{
+		StepMin: 10,
+		Samples: []Sample{
+			{Minute: 450, Irradiance: 100, AmbientC: 10},
+			{Minute: 460, Irradiance: 200, AmbientC: 20},
+			{Minute: 470, Irradiance: 150, AmbientC: 15},
+		},
+	}
+	g, a := tr.At(455)
+	if g != 150 || a != 15 {
+		t.Errorf("At(455) = %v, %v; want 150, 15", g, a)
+	}
+	// Clamping at both ends.
+	if g, _ := tr.At(0); g != 100 {
+		t.Errorf("At(0) = %v, want clamp to 100", g)
+	}
+	if g, _ := tr.At(9999); g != 150 {
+		t.Errorf("At(9999) = %v, want clamp to 150", g)
+	}
+	// Exact sample hit.
+	if g, _ := tr.At(460); math.Abs(g-200) > 1e-9 {
+		t.Errorf("At(460) = %v, want 200", g)
+	}
+}
+
+func TestAtEmptyAndSingle(t *testing.T) {
+	var empty Trace
+	if g, a := empty.At(500); g != 0 || a != 0 {
+		t.Error("empty trace should return zeros")
+	}
+	single := &Trace{Samples: []Sample{{Minute: 500, Irradiance: 42, AmbientC: 7}}}
+	if g, a := single.At(999); g != 42 || a != 7 {
+		t.Errorf("single-sample At = %v, %v", g, a)
+	}
+	if single.Duration() != 0 {
+		t.Error("single-sample duration should be 0")
+	}
+}
+
+func TestInsolation(t *testing.T) {
+	// Constant 600 W/m² for 60 minutes = 0.6 kWh/m².
+	tr := &Trace{StepMin: 30, Samples: []Sample{
+		{Minute: 0, Irradiance: 600}, {Minute: 30, Irradiance: 600}, {Minute: 60, Irradiance: 600},
+	}}
+	if got := tr.InsolationKWh(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("insolation = %v, want 0.6", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Generate(NC, Oct, GenConfig{StepMin: 5})
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, NC, Oct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(orig.Samples) {
+		t.Fatalf("samples %d vs %d", len(back.Samples), len(orig.Samples))
+	}
+	if back.StepMin != orig.StepMin {
+		t.Errorf("step %v vs %v", back.StepMin, orig.StepMin)
+	}
+	for i := range back.Samples {
+		if math.Abs(back.Samples[i].Irradiance-orig.Samples[i].Irradiance) > 0.01 {
+			t.Fatalf("sample %d irradiance %v vs %v", i, back.Samples[i].Irradiance, orig.Samples[i].Irradiance)
+		}
+	}
+	if back.Label() != "Oct@NC" {
+		t.Errorf("label = %q", back.Label())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"minute,irradiance_wm2,ambient_c\nx,1,2\n",
+		"minute,irradiance_wm2,ambient_c\n1,x,2\n",
+		"minute,irradiance_wm2,ambient_c\n1,2,x\n",
+		"minute,irradiance_wm2,ambient_c\n0,1,2\n10,1,2\n15,1,2\n", // non-uniform
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), AZ, Jan); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSiteSeasonLookups(t *testing.T) {
+	s, err := SiteByCode("CO")
+	if err != nil || s.Station != "BMS" {
+		t.Errorf("SiteByCode(CO) = %+v, %v", s, err)
+	}
+	if _, err := SiteByCode("XX"); err == nil {
+		t.Error("unknown site should error")
+	}
+	se, err := SeasonByName("Jul")
+	if err != nil || se != Jul {
+		t.Errorf("SeasonByName(Jul) = %v, %v", se, err)
+	}
+	if _, err := SeasonByName("Dec"); err == nil {
+		t.Error("unknown season should error")
+	}
+	if got := Season(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown season String = %q", got)
+	}
+}
+
+func TestClimateFallback(t *testing.T) {
+	unknown := Site{Code: "ZZ"}
+	cl := ClimateFor(unknown, Jan)
+	if cl.PeakIrradiance == 0 {
+		t.Error("fallback climate should be usable")
+	}
+}

@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"solarcore/internal/atmos"
+)
+
+// Every experiment result exposes CSV() so cmd/experiments can emit the raw
+// data behind each figure for external plotting. Columns are stable and
+// documented here rather than in each figure's paper caption.
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func csvRow(cells ...string) string {
+	for i, c := range cells {
+		cells[i] = csvEscape(c)
+	}
+	return strings.Join(cells, ",") + "\n"
+}
+
+// CSV emits irradiance,utilization rows.
+func (r Figure1Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("irradiance_wm2,utilization\n")
+	for _, p := range r.Points {
+		b.WriteString(csvRow(fmt.Sprintf("%.0f", p.Irradiance), fmt.Sprintf("%.4f", p.Utilization)))
+	}
+	return b.String()
+}
+
+// CSV emits pattern,mix,minute,budget_w,actual_w,on_solar rows.
+func (f TrackingFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString("pattern,mix,minute,budget_w,actual_w,on_solar\n")
+	for i, run := range f.Runs {
+		for _, p := range run.Series {
+			b.WriteString(csvRow(f.Label, f.Mixes[i],
+				fmt.Sprintf("%.1f", p.Minute),
+				fmt.Sprintf("%.2f", p.BudgetW),
+				fmt.Sprintf("%.2f", p.ActualW),
+				fmt.Sprintf("%t", p.OnSolar)))
+		}
+	}
+	return b.String()
+}
+
+// CSV emits site,month,mix,error rows.
+func (t Table7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("site,month,mix,tracking_error\n")
+	for _, site := range atmos.Sites {
+		for _, season := range atmos.Seasons {
+			errs := t.Err[site.Code][season.String()]
+			for i, e := range errs {
+				b.WriteString(csvRow(site.Code, season.String(), t.Mixes[i], fmt.Sprintf("%.4f", e)))
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSV emits pattern,budget_w,duration_min,normalized,class rows.
+func (r Figure15Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("pattern,budget_w,duration_min,normalized,class\n")
+	for _, row := range r.Rows {
+		for i, budget := range r.Budgets {
+			b.WriteString(csvRow(row.Label,
+				fmt.Sprintf("%g", budget),
+				fmt.Sprintf("%.1f", row.Durations[i]),
+				fmt.Sprintf("%.4f", row.Normalized[i]),
+				string(row.Class)))
+		}
+	}
+	return b.String()
+}
+
+// CSV emits site,month,budget_w,normalized rows.
+func (r FixedSweepResult) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "site,month,budget_w,normalized_%s\n", r.Metric)
+	for _, site := range atmos.Sites {
+		for _, season := range atmos.Seasons {
+			vals := r.Norm[site.Code][season.String()]
+			for i, budget := range r.Budgets {
+				b.WriteString(csvRow(site.Code, season.String(),
+					fmt.Sprintf("%g", budget), fmt.Sprintf("%.4f", vals[i])))
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSV emits site,mix,policy,utilization rows.
+func (r Figure18Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("site,mix,policy,utilization\n")
+	for _, site := range atmos.Sites {
+		for mi, mixName := range r.Mixes {
+			for pi, policy := range r.Policies {
+				b.WriteString(csvRow(site.Code, mixName, policy,
+					fmt.Sprintf("%.4f", r.Util[site.Code][mi][pi])))
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSV emits site,month,solar_share rows.
+func (r Figure19Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("site,month,solar_share\n")
+	for _, site := range atmos.Sites {
+		for si, season := range atmos.Seasons {
+			b.WriteString(csvRow(site.Code, season.String(),
+				fmt.Sprintf("%.4f", r.SolarShare[site.Code][si])))
+		}
+	}
+	return b.String()
+}
+
+// CSV emits bucket,policy,utilization,samples rows.
+func (r Figure20Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("duration_bucket,policy,utilization,samples\n")
+	for _, bucket := range r.Buckets {
+		for pi, policy := range r.Policies {
+			b.WriteString(csvRow(bucket.Label, policy,
+				fmt.Sprintf("%.4f", bucket.Util[pi]),
+				fmt.Sprintf("%d", bucket.Samples)))
+		}
+	}
+	return b.String()
+}
+
+// CSV emits site,month,mix,series,normalized_ptp rows.
+func (r Figure21Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("site,month,mix,series,normalized_ptp\n")
+	for _, site := range atmos.Sites {
+		for _, season := range atmos.Seasons {
+			grid := r.Norm[site.Code][season.String()]
+			for mi, mixName := range r.Mixes {
+				for si, series := range r.Series {
+					b.WriteString(csvRow(site.Code, season.String(), mixName, series,
+						fmt.Sprintf("%.4f", grid[mi][si])))
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSV emits config,utilization,track_err,ptp,duration rows.
+func (a AblationResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("config,utilization,track_err,ptp_ginstr,duration\n")
+	for _, r := range a.Rows {
+		b.WriteString(csvRow(r.Label,
+			fmt.Sprintf("%.4f", r.Utilization),
+			fmt.Sprintf("%.4f", r.TrackErr),
+			fmt.Sprintf("%.1f", r.PTP),
+			fmt.Sprintf("%.4f", r.Duration)))
+	}
+	return b.String()
+}
+
+// CSV emits algorithm,tracking_eff,rail_excursion rows.
+func (t TrackerComparisonResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("algorithm,tracking_eff,rail_excursion\n")
+	for _, r := range t.Rows {
+		b.WriteString(csvRow(r.Algorithm,
+			fmt.Sprintf("%.4f", r.Efficiency),
+			fmt.Sprintf("%.4f", r.RailExcursion)))
+	}
+	return b.String()
+}
+
+// CSV emits pattern,forecaster,relative_mae rows.
+func (r ForecastStudyResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("pattern,forecaster,relative_mae\n")
+	for i, p := range r.Patterns {
+		for fi, f := range r.Forecasters {
+			b.WriteString(csvRow(p, f, fmt.Sprintf("%.4f", r.RelMAE[i][fi])))
+		}
+	}
+	return b.String()
+}
+
+// CSV emits budget_w,active_overhead,active_free,gips_overhead,gips_free rows.
+func (c ConsolidationResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("budget_w,active_overhead,active_free,gips_overhead,gips_free\n")
+	for _, r := range c.Rows {
+		b.WriteString(csvRow(
+			fmt.Sprintf("%g", r.BudgetW),
+			fmt.Sprintf("%.0f", r.ActiveOverhead),
+			fmt.Sprintf("%.0f", r.ActiveFree),
+			fmt.Sprintf("%.3f", r.ThroughputOver),
+			fmt.Sprintf("%.3f", r.ThroughputFree)))
+	}
+	return b.String()
+}
+
+// CSV emits site,carbon_reduction,co2_saved_kg_day,cost_saved_usd_year rows.
+func (s SustainabilityResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("site,carbon_reduction,co2_saved_kg_day,cost_saved_usd_year\n")
+	for _, r := range s.Rows {
+		b.WriteString(csvRow(r.Site,
+			fmt.Sprintf("%.4f", r.CarbonReduction),
+			fmt.Sprintf("%.3f", r.SavedKgPerDay),
+			fmt.Sprintf("%.2f", r.SavedUSDPerYear)))
+	}
+	return b.String()
+}
+
+// CSV emits site,fixed_wh,tracked_wh,energy_gain,ptp_gain rows.
+func (m MountStudyResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("site,fixed_wh,tracked_wh,energy_gain,ptp_gain\n")
+	for _, r := range m.Rows {
+		b.WriteString(csvRow(r.Site,
+			fmt.Sprintf("%.1f", r.FixedWh),
+			fmt.Sprintf("%.1f", r.TrackedWh),
+			fmt.Sprintf("%.4f", r.EnergyGain),
+			fmt.Sprintf("%.4f", r.PTPGain)))
+	}
+	return b.String()
+}
+
+// CSV emits day,utilization,opt_over_rr,opt_over_ic rows.
+func (r RobustnessResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("day,utilization,opt_over_rr,opt_over_ic\n")
+	for i, d := range r.Days {
+		b.WriteString(csvRow(fmt.Sprintf("%d", d),
+			fmt.Sprintf("%.4f", r.Utilization[i]),
+			fmt.Sprintf("%.4f", r.OptOverRR[i]),
+			fmt.Sprintf("%.4f", r.OptOverIC[i])))
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"solarcore/internal/atmos"
+	"solarcore/internal/forecast"
+	"solarcore/internal/mathx"
+)
+
+// ForecastStudyResult scores short-horizon available-power forecasters per
+// weather pattern: relative MAE (normalized by the day's mean available
+// power) at the 10-minute tracking horizon.
+type ForecastStudyResult struct {
+	Forecasters []string
+	// RelMAE[pattern][forecaster index]
+	Patterns []string
+	RelMAE   [][]float64
+}
+
+// ForecastStudy evaluates every forecaster on every site/season.
+func ForecastStudy(l *Lab) ForecastStudyResult {
+	var res ForecastStudyResult
+	for _, f := range forecast.All() {
+		res.Forecasters = append(res.Forecasters, f.Name())
+	}
+	const horizon = 10
+	for _, site := range atmos.Sites {
+		for _, season := range atmos.Seasons {
+			day := l.Day(site, season)
+			var minutes, watts []float64
+			for m := day.StartMinute(); m <= day.EndMinute(); m++ {
+				minutes = append(minutes, m)
+				watts = append(watts, day.MPPAt(m))
+			}
+			mean := mathx.Mean(watts)
+			row := make([]float64, 0, len(res.Forecasters))
+			for _, f := range forecast.All() {
+				sk := forecast.Evaluate(f, minutes, watts, horizon)
+				if mean > 0 {
+					row = append(row, sk.MAE/mean)
+				} else {
+					row = append(row, 0)
+				}
+			}
+			res.Patterns = append(res.Patterns, season.String()+"@"+site.Code)
+			res.RelMAE = append(res.RelMAE, row)
+		}
+	}
+	return res
+}
+
+// Best returns the forecaster with the lowest grid-average relative MAE.
+func (r ForecastStudyResult) Best() string {
+	best, bestMAE := "", 0.0
+	for fi, name := range r.Forecasters {
+		var vals []float64
+		for _, row := range r.RelMAE {
+			vals = append(vals, row[fi])
+		}
+		if m := mathx.Mean(vals); best == "" || m < bestMAE {
+			best, bestMAE = name, m
+		}
+	}
+	return best
+}
+
+// Render draws one row per weather pattern.
+func (r ForecastStudyResult) Render() string {
+	headers := append([]string{"pattern"}, r.Forecasters...)
+	var rows [][]string
+	for i, pattern := range r.Patterns {
+		row := []string{pattern}
+		for _, v := range r.RelMAE[i] {
+			row = append(row, pct(v))
+		}
+		rows = append(rows, row)
+	}
+	return renderTable(
+		"Forecast study: relative MAE of 10-minute-ahead available-power prediction (best overall: "+r.Best()+")",
+		headers, rows)
+}

@@ -1,0 +1,236 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Section 6). Each experiment is a function that returns typed data plus a
+// Render method producing the ASCII equivalent of the paper's plot; the
+// experiment index in DESIGN.md maps paper figure/table numbers to these
+// functions, and cmd/experiments drives them all.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"solarcore/internal/atmos"
+	"solarcore/internal/power"
+	"solarcore/internal/pv"
+	"solarcore/internal/sched"
+	"solarcore/internal/sim"
+	"solarcore/internal/workload"
+)
+
+// Options controls experiment fidelity versus runtime.
+type Options struct {
+	// StepMin is the simulation sub-sampling step in minutes (default 1).
+	StepMin float64
+	// Quick restricts grids (fewer mixes) for fast smoke runs and tests.
+	Quick bool
+	// Day selects the generated weather day within each period.
+	Day int
+}
+
+func (o Options) stepMin() float64 {
+	if o.StepMin > 0 {
+		return o.StepMin
+	}
+	if o.Quick {
+		return 2
+	}
+	return 1
+}
+
+// Mixes returns the workload grid for these options.
+func (o Options) Mixes() []workload.Mix {
+	if !o.Quick {
+		return workload.Mixes
+	}
+	var out []workload.Mix
+	for _, name := range []string{"H1", "L1", "HM2"} {
+		m, _ := workload.MixByName(name)
+		out = append(out, m)
+	}
+	return out
+}
+
+// FixedBudgets is the power-transfer threshold sweep of Figures 15-17 (W).
+var FixedBudgets = []float64{25, 50, 75, 100, 125}
+
+// Lab caches solar days and simulation runs so that the many experiments
+// sharing the site × season × mix × policy grid compute each run once. All
+// methods are safe for concurrent use.
+type Lab struct {
+	Opts Options
+
+	mu   sync.Mutex
+	days map[string]*sim.SolarDay
+	runs map[string]*sim.DayResult
+}
+
+// NewLab builds an empty lab.
+func NewLab(opts Options) *Lab {
+	return &Lab{Opts: opts, days: map[string]*sim.SolarDay{}, runs: map[string]*sim.DayResult{}}
+}
+
+// Day returns the (cached) solar day for a site and season: the synthetic
+// weather trace bound to one BP3180N module.
+func (l *Lab) Day(site atmos.Site, season atmos.Season) *sim.SolarDay {
+	key := site.Code + season.String()
+	l.mu.Lock()
+	if d, ok := l.days[key]; ok {
+		l.mu.Unlock()
+		return d
+	}
+	l.mu.Unlock()
+
+	tr := atmos.Generate(site, season, atmos.GenConfig{Day: l.Opts.Day})
+	d, err := sim.NewSolarDay(tr, pv.BP3180N(), 1, 1)
+	if err != nil {
+		panic(fmt.Sprintf("exp: building solar day %s: %v", key, err))
+	}
+	l.mu.Lock()
+	l.days[key] = d
+	l.mu.Unlock()
+	return d
+}
+
+func (l *Lab) cached(key string) (*sim.DayResult, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.runs[key]
+	return r, ok
+}
+
+func (l *Lab) store(key string, r *sim.DayResult) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.runs[key] = r
+}
+
+func (l *Lab) config(site atmos.Site, season atmos.Season, mix workload.Mix, keepSeries bool) sim.Config {
+	return sim.Config{
+		Day:        l.Day(site, season),
+		Mix:        mix,
+		StepMin:    l.Opts.stepMin(),
+		KeepSeries: keepSeries,
+	}
+}
+
+// MPPT runs (or recalls) a SolarCore day under the named Table 6 policy.
+func (l *Lab) MPPT(site atmos.Site, season atmos.Season, mix workload.Mix, policy string) *sim.DayResult {
+	key := fmt.Sprintf("%s|%s|%s|%s", site.Code, season, mix.Name, policy)
+	if r, ok := l.cached(key); ok {
+		return r
+	}
+	alloc, ok := sched.ByName(policy)
+	if !ok {
+		panic("exp: unknown MPPT policy " + policy)
+	}
+	r, err := sim.RunMPPT(l.config(site, season, mix, false), alloc)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s: %v", key, err))
+	}
+	l.store(key, r)
+	return r
+}
+
+// MPPTSeries is MPPT with the per-minute budget/actual trace retained (for
+// Figures 13-14). Series runs are not cached.
+func (l *Lab) MPPTSeries(site atmos.Site, season atmos.Season, mix workload.Mix, policy string) *sim.DayResult {
+	alloc, ok := sched.ByName(policy)
+	if !ok {
+		panic("exp: unknown MPPT policy " + policy)
+	}
+	r, err := sim.RunMPPT(l.config(site, season, mix, true), alloc)
+	if err != nil {
+		panic(fmt.Sprintf("exp: series run: %v", err))
+	}
+	return r
+}
+
+// Fixed runs (or recalls) a Fixed-Power day at the given budget.
+func (l *Lab) Fixed(site atmos.Site, season atmos.Season, mix workload.Mix, budgetW float64) *sim.DayResult {
+	key := fmt.Sprintf("%s|%s|%s|fixed%g", site.Code, season, mix.Name, budgetW)
+	if r, ok := l.cached(key); ok {
+		return r
+	}
+	r, err := sim.RunFixed(l.config(site, season, mix, false), budgetW)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s: %v", key, err))
+	}
+	l.store(key, r)
+	return r
+}
+
+// Battery runs (or recalls) a battery-baseline day at the given overall
+// conversion efficiency.
+func (l *Lab) Battery(site atmos.Site, season atmos.Season, mix workload.Mix, eff float64) *sim.DayResult {
+	key := fmt.Sprintf("%s|%s|%s|bat%g", site.Code, season, mix.Name, eff)
+	if r, ok := l.cached(key); ok {
+		return r
+	}
+	r, err := sim.RunBattery(l.config(site, season, mix, false), eff)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s: %v", key, err))
+	}
+	l.store(key, r)
+	return r
+}
+
+// MPPTPolicies lists the Table 6 tracking policies in the paper's order.
+var MPPTPolicies = []string{"MPPT&IC", "MPPT&RR", "MPPT&Opt"}
+
+// BatteryEffs lists the Section 6.4 battery comparison brackets.
+var BatteryEffs = []float64{power.BatteryUpperEff, power.BatteryLowerEff}
+
+// parallel runs fn(i) for i in [0,n) on all cores and waits.
+func parallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Prefetch computes the full MPPT policy grid (site × season × mix ×
+// policy) in parallel so that subsequent figure calls hit the cache.
+func (l *Lab) Prefetch() {
+	type job struct {
+		site   atmos.Site
+		season atmos.Season
+		mix    workload.Mix
+		policy string
+	}
+	var jobs []job
+	for _, site := range atmos.Sites {
+		for _, season := range atmos.Seasons {
+			// Materialize days serially first: cheap, avoids duplicate work.
+			l.Day(site, season)
+			for _, mix := range l.Opts.Mixes() {
+				for _, p := range MPPTPolicies {
+					jobs = append(jobs, job{site, season, mix, p})
+				}
+			}
+		}
+	}
+	parallel(len(jobs), func(i int) {
+		j := jobs[i]
+		l.MPPT(j.site, j.season, j.mix, j.policy)
+	})
+}

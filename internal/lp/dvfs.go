@@ -1,0 +1,63 @@
+package lp
+
+import (
+	"solarcore/internal/mcore"
+)
+
+// DVFSRelaxation builds the LP relaxation of the fixed-budget DVFS
+// allocation problem the paper's Fixed-Power baseline solves: choose a
+// (fractional) operating point per core maximizing total throughput under
+// a chip power budget,
+//
+//	max  Σ_{i,l} T_{i,l}·x_{i,l}
+//	s.t. Σ_l x_{i,l} ≤ 1            for every core i
+//	     Σ_{i,l} P_{i,l}·x_{i,l} ≤ budget
+//	     x ≥ 0.
+//
+// Fractional x model time-multiplexing between adjacent points, so the LP
+// optimum upper-bounds every integral assignment, including the greedy
+// planner in package sched.
+func DVFSRelaxation(chip *mcore.Chip, minute, budget float64) Problem {
+	cores := chip.NumCores()
+	levels := chip.NumLevels()
+	n := cores * levels
+
+	save := chip.Levels()
+	defer chip.RestoreLevels(save)
+
+	c := make([]float64, n)
+	pw := make([]float64, n)
+	for i := 0; i < cores; i++ {
+		for l := 0; l < levels; l++ {
+			chip.SetLevel(i, l)
+			c[i*levels+l] = chip.CoreThroughput(i, minute)
+			pw[i*levels+l] = chip.CorePower(i, minute)
+		}
+		chip.SetLevel(i, save[i])
+	}
+
+	a := make([][]float64, 0, cores+1)
+	b := make([]float64, 0, cores+1)
+	for i := 0; i < cores; i++ {
+		row := make([]float64, n)
+		for l := 0; l < levels; l++ {
+			row[i*levels+l] = 1
+		}
+		a = append(a, row)
+		b = append(b, 1)
+	}
+	a = append(a, pw)
+	b = append(b, budget)
+
+	return Problem{C: c, A: a, B: b}
+}
+
+// DVFSUpperBound solves the relaxation and returns the maximum fractional
+// throughput for the budget.
+func DVFSUpperBound(chip *mcore.Chip, minute, budget float64) (float64, error) {
+	sol, err := Solve(DVFSRelaxation(chip, minute, budget))
+	if err != nil {
+		return 0, err
+	}
+	return sol.Value, nil
+}

@@ -1,0 +1,153 @@
+// Package lp provides a dense-tableau simplex solver for small linear
+// programs in the standard inequality form
+//
+//	maximize    c·x
+//	subject to  A·x ≤ b,  x ≥ 0,
+//
+// sized for the DVFS allocation relaxation the paper's Fixed-Power baseline
+// solves (Table 6 cites Teodorescu & Torrellas' linear-programming
+// scheduler): tens of variables, tens of constraints. The solver uses
+// Bland's rule, so it cannot cycle.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnbounded is returned when the objective can grow without limit.
+var ErrUnbounded = errors.New("lp: unbounded objective")
+
+// ErrInfeasible is returned when no x ≥ 0 satisfies A·x ≤ b (only possible
+// here when some b_i < 0, since x = 0 is otherwise feasible).
+var ErrInfeasible = errors.New("lp: infeasible program")
+
+// Problem is a linear program in inequality form.
+type Problem struct {
+	C []float64   // objective coefficients, len n
+	A [][]float64 // constraint matrix, m rows of len n
+	B []float64   // right-hand sides, len m (must be ≥ 0)
+}
+
+// Solution is an optimal vertex.
+type Solution struct {
+	X     []float64
+	Value float64
+}
+
+// Validate reports structural errors.
+func (p Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("lp: empty objective")
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("lp: %d constraint rows but %d right-hand sides", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// Solve runs the simplex method and returns an optimal solution.
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	for _, b := range p.B {
+		if b < 0 {
+			// A phase-one method would be needed; the allocation programs
+			// this package serves never produce negative capacities.
+			return Solution{}, ErrInfeasible
+		}
+	}
+
+	n, m := len(p.C), len(p.B)
+	// Tableau: m constraint rows + 1 objective row; columns: n structural
+	// + m slack + 1 RHS.
+	cols := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, cols)
+		copy(t[i], p.A[i])
+		t[i][n+i] = 1
+		t[i][cols-1] = p.B[i]
+	}
+	t[m] = make([]float64, cols)
+	for j, c := range p.C {
+		t[m][j] = -c // maximize c·x ⇔ minimize −c·x
+	}
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	const eps = 1e-9
+	for iter := 0; iter < 10000; iter++ {
+		// Bland's rule: entering variable = lowest index with negative
+		// reduced cost.
+		enter := -1
+		for j := 0; j < cols-1; j++ {
+			if t[m][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Ratio test, ties broken by lowest basis index (Bland).
+		leave, best := -1, math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][cols-1] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					leave, best = i, ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return Solution{}, ErrUnbounded
+		}
+		pivot(t, leave, enter)
+		basis[leave] = enter
+	}
+
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = t[i][cols-1]
+		}
+	}
+	value := 0.0
+	for j, c := range p.C {
+		value += c * x[j]
+	}
+	return Solution{X: x, Value: value}, nil
+}
+
+// pivot performs Gauss-Jordan elimination on the tableau around (row, col).
+func pivot(t [][]float64, row, col int) {
+	pr := t[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * pr[j]
+		}
+	}
+}

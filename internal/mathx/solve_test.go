@@ -1,0 +1,115 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectLinear(t *testing.T) {
+	x, err := Bisect(func(x float64) float64 { return 2*x - 3 }, 0, 10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1.5) > 1e-9 {
+		t.Errorf("root = %v, want 1.5", x)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if x, err := Bisect(f, 0, 1, 1e-9); err != nil || x != 0 {
+		t.Errorf("lo endpoint root: got %v, %v", x, err)
+	}
+	if x, err := Bisect(f, -1, 0, 1e-9); err != nil || x != 0 {
+		t.Errorf("hi endpoint root: got %v, %v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestNewtonBisectCubic(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - 8 }
+	df := func(x float64) float64 { return 3 * x * x }
+	x, err := NewtonBisect(f, df, 0, 10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-2) > 1e-9 {
+		t.Errorf("root = %v, want 2", x)
+	}
+}
+
+func TestNewtonBisectMatchesBisect(t *testing.T) {
+	// Property: on random monotone exponentials both solvers find the same root.
+	prop := func(a, b uint8) bool {
+		k := 0.1 + float64(a)/64 // growth rate
+		c := 1 + float64(b)      // offset
+		f := func(x float64) float64 { return math.Exp(k*x) - c }
+		df := func(x float64) float64 { return k * math.Exp(k*x) }
+		want := math.Log(c) / k
+		if want > 100 {
+			return true // outside bracket, skip
+		}
+		x1, err1 := Bisect(f, -1, 101, 1e-10)
+		x2, err2 := NewtonBisect(f, df, -1, 101, 1e-10)
+		return err1 == nil && err2 == nil &&
+			math.Abs(x1-want) < 1e-6 && math.Abs(x2-want) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldenMaxParabola(t *testing.T) {
+	x, fx := GoldenMax(func(x float64) float64 { return -(x - 3) * (x - 3) }, -10, 10, 1e-9)
+	if math.Abs(x-3) > 1e-6 {
+		t.Errorf("argmax = %v, want 3", x)
+	}
+	if math.Abs(fx) > 1e-9 {
+		t.Errorf("max = %v, want 0", fx)
+	}
+}
+
+func TestGoldenMaxQuickParabolas(t *testing.T) {
+	// Property: GoldenMax finds the vertex of any downward parabola inside
+	// the search interval.
+	prop := func(a int8) bool {
+		c := float64(a) / 16
+		x, _ := GoldenMax(func(x float64) float64 { return -(x - c) * (x - c) }, -20, 20, 1e-10)
+		return math.Abs(x-c) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(2, 4, 0.5); got != 3 {
+		t.Errorf("Lerp(2,4,0.5) = %v, want 3", got)
+	}
+	if got := Lerp(2, 4, 0); got != 2 {
+		t.Errorf("Lerp(2,4,0) = %v, want 2", got)
+	}
+	if got := Lerp(2, 4, 1); got != 4 {
+		t.Errorf("Lerp(2,4,1) = %v, want 4", got)
+	}
+}

@@ -1,0 +1,305 @@
+package mcore
+
+import "fmt"
+
+// Activity is the instantaneous execution behaviour a core observes from
+// the program it runs: an IPC (committed instructions per cycle) and an
+// effective switched capacitance (nF) that set throughput and dynamic
+// power. Package workload provides phase-varying implementations.
+type Activity interface {
+	Demand(minute float64) (ipc, ceffNF float64)
+}
+
+// ConstantActivity is a fixed-behaviour Activity, useful for tests and
+// synthetic loads.
+type ConstantActivity struct {
+	IPC    float64
+	CeffNF float64
+}
+
+// Demand returns the fixed IPC and capacitance.
+func (a ConstantActivity) Demand(float64) (float64, float64) { return a.IPC, a.CeffNF }
+
+// Gated marks a power-gated core (per-core power gating, Section 4.1).
+const Gated = -1
+
+// Chip is the simulated multi-core processor: per-core DVFS level and
+// activity, with power and throughput evaluation at arbitrary simulation
+// times. It is a pure model — no goroutines, no wall-clock.
+type Chip struct {
+	cfg      Config
+	levels   []int
+	activity []Activity
+
+	transitions uint64
+}
+
+// NewChip builds a chip from cfg with every core at the lowest operating
+// point running a nominal activity (IPC 1, 2.5 nF).
+func NewChip(cfg Config) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Chip{
+		cfg:      cfg,
+		levels:   make([]int, cfg.Cores),
+		activity: make([]Activity, cfg.Cores),
+	}
+	for i := range c.activity {
+		c.activity[i] = ConstantActivity{IPC: 1, CeffNF: 2.5}
+	}
+	return c, nil
+}
+
+// MustNewChip is NewChip for known-good configurations; it panics on error.
+func MustNewChip(cfg Config) *Chip {
+	c, err := NewChip(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the chip configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// NumCores returns the core count.
+func (c *Chip) NumCores() int { return c.cfg.Cores }
+
+// NumLevels returns the number of DVFS operating points.
+func (c *Chip) NumLevels() int { return len(c.cfg.Points) }
+
+// Level returns the current operating point index of a core, or Gated.
+func (c *Chip) Level(core int) int { return c.levels[core] }
+
+// SetLevel sets a core's operating point; Gated powers the core down.
+func (c *Chip) SetLevel(core, level int) error {
+	if core < 0 || core >= c.cfg.Cores {
+		return fmt.Errorf("mcore: core %d out of range", core)
+	}
+	if level != Gated && (level < 0 || level >= len(c.cfg.Points)) {
+		return fmt.Errorf("mcore: level %d out of range", level)
+	}
+	if c.levels[core] != level {
+		c.transitions++
+	}
+	c.levels[core] = level
+	return nil
+}
+
+// SetAllLevels sets every core to the same operating point.
+func (c *Chip) SetAllLevels(level int) error {
+	for i := 0; i < c.cfg.Cores; i++ {
+		if err := c.SetLevel(i, level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetActivity assigns the program behaviour a core executes.
+func (c *Chip) SetActivity(core int, a Activity) error {
+	if core < 0 || core >= c.cfg.Cores {
+		return fmt.Errorf("mcore: core %d out of range", core)
+	}
+	if a == nil {
+		return fmt.Errorf("mcore: nil activity for core %d", core)
+	}
+	c.activity[core] = a
+	return nil
+}
+
+// StepUp raises a core one operating point (ungating it to the lowest point
+// first) and reports whether anything changed.
+func (c *Chip) StepUp(core int) bool {
+	switch {
+	case c.levels[core] == Gated:
+		c.levels[core] = 0
+		c.transitions++
+		return true
+	case c.levels[core] < len(c.cfg.Points)-1:
+		c.levels[core]++
+		c.transitions++
+		return true
+	default:
+		return false
+	}
+}
+
+// StepDown lowers a core one operating point, gating it below the lowest
+// point, and reports whether anything changed.
+func (c *Chip) StepDown(core int) bool {
+	switch {
+	case c.levels[core] == Gated:
+		return false
+	case c.levels[core] == 0:
+		c.levels[core] = Gated
+		c.transitions++
+		return true
+	default:
+		c.levels[core]--
+		c.transitions++
+		return true
+	}
+}
+
+// CorePower returns one core's instantaneous power draw (W) at the given
+// simulation minute: Ceff·V²·f dynamic power plus voltage-proportional
+// leakage; zero when gated.
+func (c *Chip) CorePower(core int, minute float64) float64 {
+	lvl := c.levels[core]
+	if lvl == Gated {
+		return 0
+	}
+	_, ceff := c.activity[core].Demand(minute)
+	p := c.cfg.Points[lvl]
+	base := ceff*p.VoltV*p.VoltV*p.FreqGHz + c.cfg.LeakWPerV*p.VoltV + c.cfg.ActiveWatts
+	return base * c.cfg.classOf(core).Power
+}
+
+// Power returns the chip's total instantaneous power draw (W).
+func (c *Chip) Power(minute float64) float64 {
+	sum := 0.0
+	for i := 0; i < c.cfg.Cores; i++ {
+		sum += c.CorePower(i, minute)
+	}
+	return sum
+}
+
+// CoreThroughput returns one core's instantaneous throughput in GIPS
+// (billion instructions per second): IPC·f, zero when gated.
+func (c *Chip) CoreThroughput(core int, minute float64) float64 {
+	lvl := c.levels[core]
+	if lvl == Gated {
+		return 0
+	}
+	ipc, _ := c.activity[core].Demand(minute)
+	return ipc * c.cfg.Points[lvl].FreqGHz * c.cfg.classOf(core).Perf
+}
+
+// Throughput returns the chip's total instantaneous throughput in GIPS.
+func (c *Chip) Throughput(minute float64) float64 {
+	sum := 0.0
+	for i := 0; i < c.cfg.Cores; i++ {
+		sum += c.CoreThroughput(i, minute)
+	}
+	return sum
+}
+
+// MinPower returns the chip power with every core gated except one at the
+// lowest operating point — the smallest load the chip can present while
+// still making progress.
+func (c *Chip) MinPower(minute float64) float64 {
+	min := 0.0
+	for i := 0; i < c.cfg.Cores; i++ {
+		save := c.levels[i]
+		c.levels[i] = 0
+		p := c.CorePower(i, minute)
+		c.levels[i] = save
+		if i == 0 || p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+// MaxPower returns the chip power with every core at the top operating
+// point.
+func (c *Chip) MaxPower(minute float64) float64 {
+	sum := 0.0
+	top := len(c.cfg.Points) - 1
+	for i := 0; i < c.cfg.Cores; i++ {
+		save := c.levels[i]
+		c.levels[i] = top
+		sum += c.CorePower(i, minute)
+		c.levels[i] = save
+	}
+	return sum
+}
+
+// DeltaUp returns the throughput and power increases of raising a core one
+// operating point at the given minute. ok is false when the core is already
+// at the top.
+func (c *Chip) DeltaUp(core int, minute float64) (dT, dP float64, ok bool) {
+	lvl := c.levels[core]
+	if lvl == len(c.cfg.Points)-1 {
+		return 0, 0, false
+	}
+	t0, p0 := c.CoreThroughput(core, minute), c.CorePower(core, minute)
+	c.levels[core] = lvl + 1
+	if lvl == Gated {
+		c.levels[core] = 0
+	}
+	dT = c.CoreThroughput(core, minute) - t0
+	dP = c.CorePower(core, minute) - p0
+	c.levels[core] = lvl
+	return dT, dP, true
+}
+
+// DeltaDown returns the throughput and power decreases (as positive
+// numbers) of lowering a core one operating point. ok is false when the
+// core is already gated.
+func (c *Chip) DeltaDown(core int, minute float64) (dT, dP float64, ok bool) {
+	lvl := c.levels[core]
+	if lvl == Gated {
+		return 0, 0, false
+	}
+	t0, p0 := c.CoreThroughput(core, minute), c.CorePower(core, minute)
+	if lvl == 0 {
+		c.levels[core] = Gated
+	} else {
+		c.levels[core] = lvl - 1
+	}
+	dT = t0 - c.CoreThroughput(core, minute)
+	dP = p0 - c.CorePower(core, minute)
+	c.levels[core] = lvl
+	return dT, dP, true
+}
+
+// TPRUp returns the throughput-power ratio ΔT/ΔP of raising a core one
+// level (Section 4.3) — the marginal performance return of giving this core
+// more power. Returns 0 when the core cannot be raised.
+func (c *Chip) TPRUp(core int, minute float64) float64 {
+	dT, dP, ok := c.DeltaUp(core, minute)
+	if !ok || dP <= 0 {
+		return 0
+	}
+	return dT / dP
+}
+
+// TPRDown returns the throughput-power ratio ΔT/ΔP of lowering a core one
+// level — the performance cost per watt reclaimed. Returns +Inf-free 0 when
+// the core is gated already.
+func (c *Chip) TPRDown(core int, minute float64) float64 {
+	dT, dP, ok := c.DeltaDown(core, minute)
+	if !ok || dP <= 0 {
+		return 0
+	}
+	return dT / dP
+}
+
+// Transitions returns the cumulative count of per-core operating-point
+// changes — each one costs a VRM voltage ramp and a PLL relock, so power
+// managers that thrash levels pay for it (see sim.Config.DVFSTransitionUs).
+// DeltaUp/DeltaDown probes do not count; they restore the level.
+func (c *Chip) Transitions() uint64 { return c.transitions }
+
+// Levels returns a copy of the per-core operating point indices.
+func (c *Chip) Levels() []int {
+	out := make([]int, len(c.levels))
+	copy(out, c.levels)
+	return out
+}
+
+// RestoreLevels sets all per-core levels from a snapshot produced by Levels.
+func (c *Chip) RestoreLevels(levels []int) error {
+	if len(levels) != c.cfg.Cores {
+		return fmt.Errorf("mcore: snapshot has %d cores, chip has %d", len(levels), c.cfg.Cores)
+	}
+	for i, l := range levels {
+		if err := c.SetLevel(i, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Package mcore models the multi-core processor the paper simulates: eight
+// Alpha-21264-class cores at 90 nm, each with private per-core DVFS driven
+// by an on-chip voltage regulator and optional per-core power gating
+// (Section 4.1, Table 4).
+//
+// The power/performance model is the analytic one the paper's optimizer is
+// built on (Section 4.3): per-core dynamic power Ceff·V²·f, voltage scaling
+// approximately linear in frequency, throughput proportional to frequency
+// with an IPC that is workload- but not frequency-dependent, plus a
+// voltage-proportional leakage term. Workload time-variation enters through
+// the Activity interface implemented by package workload.
+package mcore
+
+import "fmt"
+
+// OpPoint is one DVFS operating point.
+type OpPoint struct {
+	FreqGHz float64
+	VoltV   float64
+}
+
+// Config describes the simulated chip.
+type Config struct {
+	Cores int
+
+	// Points are the per-core DVFS operating points ordered from slowest
+	// (index 0) to fastest. Table 4: 1.0–2.5 GHz in 300 MHz steps, 0.95 to
+	// 1.45 V in 0.1 V steps.
+	Points []OpPoint
+
+	// LeakWPerV is the per-core leakage coefficient: Pleak = LeakWPerV·V
+	// for an ungated core. A gated core leaks nothing.
+	LeakWPerV float64
+
+	// ActiveWatts is the constant per-core power of an ungated core that
+	// does not scale with the operating point — clock distribution, private
+	// caches, and the core's uncore share. Only per-core power gating
+	// reclaims it. This floor is what keeps energy-per-instruction from
+	// collapsing at low V/F and makes the full-speed battery baseline
+	// competitive, as in the paper's Wattch-calibrated model.
+	ActiveWatts float64
+
+	// Classes optionally makes the chip heterogeneous: one entry per core
+	// scaling its performance and power relative to the baseline core.
+	// Nil means homogeneous (the paper's configuration); Section 4.2 notes
+	// the power-management scheme is orthogonal to core microarchitecture,
+	// which this knob lets tests demonstrate.
+	Classes []CoreClass
+}
+
+// CoreClass scales one core of a heterogeneous chip: a "little" core might
+// be {Perf: 0.5, Power: 0.25}.
+type CoreClass struct {
+	Perf  float64 // throughput multiplier
+	Power float64 // power multiplier (dynamic, leakage and uncore floor)
+}
+
+// BigLittleConfig returns a 4+4 heterogeneous variant of the default chip:
+// four baseline "big" cores and four half-performance quarter-power
+// "little" cores.
+func BigLittleConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Classes = make([]CoreClass, cfg.Cores)
+	for i := range cfg.Classes {
+		if i < cfg.Cores/2 {
+			cfg.Classes[i] = CoreClass{Perf: 1, Power: 1}
+		} else {
+			cfg.Classes[i] = CoreClass{Perf: 0.5, Power: 0.25}
+		}
+	}
+	return cfg
+}
+
+// classOf returns the scaling for a core (identity when homogeneous).
+func (c Config) classOf(core int) CoreClass {
+	if c.Classes == nil {
+		return CoreClass{Perf: 1, Power: 1}
+	}
+	return c.Classes[core]
+}
+
+// DefaultConfig returns the paper's simulated machine: 8 cores, 6 V/F
+// operating points (Table 4), 90 nm-class leakage.
+func DefaultConfig() Config {
+	return Config{
+		Cores:       8,
+		Points:      LinearPoints(6),
+		LeakWPerV:   2.2,
+		ActiveWatts: 5.5,
+	}
+}
+
+// LinearPoints builds n operating points linearly interpolating from
+// (1.0 GHz, 0.95 V) to (2.5 GHz, 1.45 V), the voltage-tracks-frequency
+// assumption of Section 4.3. n=6 reproduces Table 4 exactly; larger n
+// models the finer-grained DVFS discussed in Section 6.3.
+func LinearPoints(n int) []OpPoint {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]OpPoint, n)
+	for i := range pts {
+		t := float64(i) / float64(n-1)
+		pts[i] = OpPoint{
+			FreqGHz: 1.0 + 1.5*t,
+			VoltV:   0.95 + 0.5*t,
+		}
+	}
+	return pts
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("mcore: config needs at least 1 core, got %d", c.Cores)
+	}
+	if len(c.Points) < 2 {
+		return fmt.Errorf("mcore: config needs at least 2 operating points, got %d", len(c.Points))
+	}
+	for i, p := range c.Points {
+		if p.FreqGHz <= 0 || p.VoltV <= 0 {
+			return fmt.Errorf("mcore: operating point %d not positive: %+v", i, p)
+		}
+		if i > 0 && (p.FreqGHz <= c.Points[i-1].FreqGHz || p.VoltV < c.Points[i-1].VoltV) {
+			return fmt.Errorf("mcore: operating points must ascend, violated at %d", i)
+		}
+	}
+	if c.LeakWPerV < 0 {
+		return fmt.Errorf("mcore: negative leakage coefficient")
+	}
+	if c.ActiveWatts < 0 {
+		return fmt.Errorf("mcore: negative active-core power floor")
+	}
+	if c.Classes != nil {
+		if len(c.Classes) != c.Cores {
+			return fmt.Errorf("mcore: %d core classes for %d cores", len(c.Classes), c.Cores)
+		}
+		for i, cl := range c.Classes {
+			if cl.Perf <= 0 || cl.Power <= 0 {
+				return fmt.Errorf("mcore: core class %d not positive: %+v", i, cl)
+			}
+		}
+	}
+	return nil
+}
+
+// VID returns the Voltage Identification Digital code for an operating
+// point index, mirroring the 6-bit VID channel between the SolarCore
+// controller and the per-core VRMs (Section 4.1). Codes count down from the
+// highest voltage, as in Intel's VRM convention.
+func (c Config) VID(level int) uint8 {
+	if level < 0 || level >= len(c.Points) {
+		return 0x3F // "no core / VRM off" sentinel
+	}
+	return uint8(len(c.Points) - 1 - level)
+}

@@ -1,0 +1,69 @@
+package mppt
+
+import (
+	"testing"
+
+	"solarcore/internal/pv"
+	"solarcore/internal/sched"
+)
+
+func TestTrackingSurvivesSensorNoise(t *testing.T) {
+	// Failure injection: ±2 % multiplicative I/V sensor error. The
+	// perturb-and-observe structure must still converge near the MPP —
+	// individual direction probes may be misled, but the rail-restoration
+	// feedback bounds the damage.
+	for _, noise := range []float64{0.005, 0.01, 0.02} {
+		ctrl := rig(t, "HM2", sched.OptTPR{}, Config{SensorError: noise, MarginSteps: 0})
+		env := pv.Env{Irradiance: 850, CellTemp: 30}
+		worst := 1.0
+		for i := 0; i < 8; i++ {
+			res := ctrl.Track(env, float64(i*10))
+			if !res.Solar() {
+				t.Fatalf("noise %v: tracking lost solar operation", noise)
+			}
+			frac := res.RaisedTo / ctrl.Circuit.AvailableMax(env)
+			if frac < worst {
+				worst = frac
+			}
+		}
+		if worst < 0.70 {
+			t.Errorf("noise %v: worst tracked fraction %.2f, want ≥ 0.70", noise, worst)
+		}
+	}
+}
+
+func TestSensorNoiseDeterministic(t *testing.T) {
+	env := pv.Env{Irradiance: 700, CellTemp: 25}
+	run := func() float64 {
+		ctrl := rig(t, "M1", sched.OptTPR{}, Config{SensorError: 0.02, SensorSeed: 7})
+		return ctrl.Track(env, 0).RaisedTo
+	}
+	if run() != run() {
+		t.Error("same seed should reproduce identical tracking")
+	}
+}
+
+func TestSensorNoiseDegradesAccuracy(t *testing.T) {
+	// More noise should not make tracking better on average.
+	env := pv.Env{Irradiance: 900, CellTemp: 35}
+	mean := func(noise float64) float64 {
+		ctrl := rig(t, "L1", sched.OptTPR{}, Config{SensorError: noise, MarginSteps: 0})
+		sum := 0.0
+		const n = 10
+		for i := 0; i < n; i++ {
+			sum += ctrl.Track(env, float64(i*10)).RaisedTo
+		}
+		return sum / n
+	}
+	clean, noisy := mean(0), mean(0.03)
+	if noisy > clean*1.02 {
+		t.Errorf("noisy tracking (%.1f W) should not beat clean (%.1f W)", noisy, clean)
+	}
+}
+
+func TestZeroNoiseHasNoRNG(t *testing.T) {
+	ctrl := rig(t, "H1", sched.OptTPR{}, Config{})
+	if ctrl.noise != nil {
+		t.Error("noise stream allocated for ideal sensors")
+	}
+}

@@ -1,0 +1,182 @@
+package power
+
+import "fmt"
+
+// BankConfig sizes a real battery bank, as opposed to the idealized
+// energy-bucket bound of BatterySystem. The paper's case against batteries
+// (Section 1) is exactly these de-rating factors: finite charge/discharge
+// rates, asymmetric conversion losses, self-discharge, and cycling-induced
+// capacity fade — all of which show up over a simulated deployment.
+type BankConfig struct {
+	CapacityWh float64 // nameplate capacity
+
+	MaxChargeW    float64 // charge power limit (0 = unlimited)
+	MaxDischargeW float64 // discharge power limit (0 = unlimited)
+
+	ChargeEff    float64 // fraction of offered energy stored
+	DischargeEff float64 // fraction of stored energy delivered
+
+	// SelfDischargePerDay is the fraction of the stored charge lost per
+	// day.
+	SelfDischargePerDay float64
+
+	// FadePerCycle is the fraction of nameplate capacity lost per
+	// equivalent full cycle (e.g. 0.00025 ≈ 800 cycles to 80 %).
+	FadePerCycle float64
+
+	// MinSoC is the depth-of-discharge floor as a fraction of current
+	// capacity (lead-acid banks are rarely taken below 20-50 %).
+	MinSoC float64
+}
+
+// Validate reports configuration errors.
+func (c BankConfig) Validate() error {
+	if c.CapacityWh <= 0 {
+		return fmt.Errorf("power: bank capacity must be positive")
+	}
+	if c.ChargeEff <= 0 || c.ChargeEff > 1 || c.DischargeEff <= 0 || c.DischargeEff > 1 {
+		return fmt.Errorf("power: bank efficiencies must be in (0,1]")
+	}
+	if c.SelfDischargePerDay < 0 || c.SelfDischargePerDay >= 1 {
+		return fmt.Errorf("power: self-discharge per day must be in [0,1)")
+	}
+	if c.FadePerCycle < 0 {
+		return fmt.Errorf("power: capacity fade must be non-negative")
+	}
+	if c.MinSoC < 0 || c.MinSoC >= 1 {
+		return fmt.Errorf("power: MinSoC must be in [0,1)")
+	}
+	return nil
+}
+
+// LeadAcidBank returns a typical deep-cycle lead-acid configuration sized
+// for a single-panel system: usable rates well above the chip draw,
+// 85 %/95 % charge/discharge efficiency (≈81 % round trip, the Table 3
+// "typical" level), 1 % daily self-discharge, 0.05 % fade per cycle
+// (~400 cycles to 80 %), 40 % DoD floor.
+func LeadAcidBank(capacityWh float64) BankConfig {
+	return BankConfig{
+		CapacityWh:          capacityWh,
+		MaxChargeW:          capacityWh / 4, // C/4 rate
+		MaxDischargeW:       capacityWh / 2, // C/2 rate
+		ChargeEff:           0.85,
+		DischargeEff:        0.95,
+		SelfDischargePerDay: 0.01,
+		FadePerCycle:        0.0005,
+		MinSoC:              0.4,
+	}
+}
+
+// Bank is a stateful battery bank.
+type Bank struct {
+	cfg BankConfig
+
+	storedWh     float64
+	fadeWh       float64 // capacity lost to cycling
+	throughputWh float64 // total energy discharged (cycle counting)
+	lossWh       float64 // conversion + self-discharge losses
+}
+
+// NewBank builds a bank at the DoD floor (freshly installed and
+// conditioned).
+func NewBank(cfg BankConfig) (*Bank, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Bank{cfg: cfg}
+	b.storedWh = cfg.MinSoC * cfg.CapacityWh
+	return b, nil
+}
+
+// CapacityWh returns the current (faded) capacity.
+func (b *Bank) CapacityWh() float64 {
+	c := b.cfg.CapacityWh - b.fadeWh
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// SoC returns the state of charge as a fraction of current capacity.
+func (b *Bank) SoC() float64 {
+	c := b.CapacityWh()
+	if c <= 0 {
+		return 0
+	}
+	return b.storedWh / c
+}
+
+// usableWh returns the energy above the DoD floor.
+func (b *Bank) usableWh() float64 {
+	u := b.storedWh - b.cfg.MinSoC*b.CapacityWh()
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// Charge offers p watts for dtMin minutes and returns the power actually
+// accepted (before conversion losses), limited by the charge rate and the
+// remaining headroom.
+func (b *Bank) Charge(p, dtMin float64) float64 {
+	if p <= 0 || dtMin <= 0 {
+		return 0
+	}
+	if b.cfg.MaxChargeW > 0 && p > b.cfg.MaxChargeW {
+		p = b.cfg.MaxChargeW
+	}
+	offerWh := p * dtMin / 60
+	storeWh := offerWh * b.cfg.ChargeEff
+	headroom := b.CapacityWh() - b.storedWh
+	if storeWh > headroom {
+		storeWh = headroom
+		offerWh = storeWh / b.cfg.ChargeEff
+	}
+	b.storedWh += storeWh
+	b.lossWh += offerWh - storeWh
+	return offerWh * 60 / dtMin
+}
+
+// Discharge requests p watts for dtMin minutes and returns the power
+// actually delivered, limited by the discharge rate, the DoD floor, and
+// the discharge efficiency. Cycling wear is charged against capacity.
+func (b *Bank) Discharge(p, dtMin float64) float64 {
+	if p <= 0 || dtMin <= 0 {
+		return 0
+	}
+	if b.cfg.MaxDischargeW > 0 && p > b.cfg.MaxDischargeW {
+		p = b.cfg.MaxDischargeW
+	}
+	needWh := p * dtMin / 60
+	drawWh := needWh / b.cfg.DischargeEff // energy leaving the cells
+	if u := b.usableWh(); drawWh > u {
+		drawWh = u
+		needWh = drawWh * b.cfg.DischargeEff
+	}
+	b.storedWh -= drawWh
+	b.throughputWh += drawWh
+	b.lossWh += drawWh - needWh
+	// Cycle-induced fade, attributed continuously.
+	b.fadeWh += b.cfg.FadePerCycle * drawWh
+	return needWh * 60 / dtMin
+}
+
+// Idle applies self-discharge for dtMin minutes.
+func (b *Bank) Idle(dtMin float64) {
+	rate := b.cfg.SelfDischargePerDay * dtMin / (24 * 60)
+	loss := b.storedWh * rate
+	b.storedWh -= loss
+	b.lossWh += loss
+}
+
+// EquivalentFullCycles returns discharged throughput over nameplate
+// capacity — the standard battery-wear odometer.
+func (b *Bank) EquivalentFullCycles() float64 {
+	return b.throughputWh / b.cfg.CapacityWh
+}
+
+// LossWh returns the cumulative conversion and self-discharge losses.
+func (b *Bank) LossWh() float64 { return b.lossWh }
+
+// StoredWh returns the energy currently in the cells.
+func (b *Bank) StoredWh() float64 { return b.storedWh }

@@ -1,0 +1,164 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestBank(t *testing.T) *Bank {
+	t.Helper()
+	b, err := NewBank(LeadAcidBank(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBankConfigValidate(t *testing.T) {
+	good := LeadAcidBank(500)
+	if err := good.Validate(); err != nil {
+		t.Errorf("lead-acid default invalid: %v", err)
+	}
+	bad := []BankConfig{
+		{CapacityWh: 0, ChargeEff: 0.9, DischargeEff: 0.9},
+		{CapacityWh: 100, ChargeEff: 0, DischargeEff: 0.9},
+		{CapacityWh: 100, ChargeEff: 0.9, DischargeEff: 1.2},
+		{CapacityWh: 100, ChargeEff: 0.9, DischargeEff: 0.9, SelfDischargePerDay: 1},
+		{CapacityWh: 100, ChargeEff: 0.9, DischargeEff: 0.9, FadePerCycle: -1},
+		{CapacityWh: 100, ChargeEff: 0.9, DischargeEff: 0.9, MinSoC: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+		if _, err := NewBank(cfg); err == nil {
+			t.Errorf("NewBank(%d) should fail", i)
+		}
+	}
+}
+
+func TestBankChargeDischargeRoundTrip(t *testing.T) {
+	b := newTestBank(t)
+	start := b.StoredWh()
+	// Offer 100 W for 60 min = 100 Wh; 85 % stored.
+	accepted := b.Charge(100, 60)
+	if math.Abs(accepted-100) > 1e-9 {
+		t.Errorf("accepted %v W, want 100", accepted)
+	}
+	if got := b.StoredWh() - start; math.Abs(got-85) > 1e-9 {
+		t.Errorf("stored %v Wh, want 85", got)
+	}
+	// Draw 50 W for 60 min: cells lose 50/0.95 Wh.
+	got := b.Discharge(50, 60)
+	if math.Abs(got-50) > 1e-9 {
+		t.Errorf("delivered %v W, want 50", got)
+	}
+	wantCells := 85 - 50/0.95
+	if math.Abs(b.StoredWh()-start-wantCells) > 1e-6 {
+		t.Errorf("cells at %+v Wh, want %+v", b.StoredWh()-start, wantCells)
+	}
+}
+
+func TestBankRateLimits(t *testing.T) {
+	b := newTestBank(t) // C/4 = 250 W charge, C/2 = 500 W discharge
+	if got := b.Charge(1000, 6); got > 250+1e-9 {
+		t.Errorf("charge accepted %v W, limit 250", got)
+	}
+	b.Charge(250, 240) // fill up a while
+	if got := b.Discharge(2000, 6); got > 500+1e-9 {
+		t.Errorf("discharge delivered %v W, limit 500", got)
+	}
+}
+
+func TestBankDoDFloor(t *testing.T) {
+	b := newTestBank(t) // starts at MinSoC
+	if got := b.Discharge(100, 60); got != 0 {
+		t.Errorf("discharge below DoD floor delivered %v W", got)
+	}
+	b.Charge(100, 60) // +85 Wh above the floor
+	// Draw until dry: only the 85 Wh above the floor (×0.95) comes out.
+	total := 0.0
+	for i := 0; i < 100; i++ {
+		total += b.Discharge(500, 6) * 6 / 60
+	}
+	if want := 85 * 0.95; math.Abs(total-want) > 0.5 {
+		t.Errorf("usable energy %v Wh, want ≈ %v", total, want)
+	}
+}
+
+func TestBankSelfDischarge(t *testing.T) {
+	b := newTestBank(t)
+	b.Charge(250, 120)
+	before := b.StoredWh()
+	b.Idle(24 * 60) // one day
+	lost := before - b.StoredWh()
+	if want := before * 0.01; math.Abs(lost-want) > 1e-6 {
+		t.Errorf("self-discharge %v Wh/day, want %v", lost, want)
+	}
+}
+
+func TestBankFadeAndCycles(t *testing.T) {
+	b := newTestBank(t)
+	cap0 := b.CapacityWh()
+	// Cycle hard: 20 full-ish cycles.
+	for i := 0; i < 20; i++ {
+		for b.SoC() < 0.99 {
+			if b.Charge(250, 30) == 0 {
+				break
+			}
+		}
+		for b.Discharge(500, 30) > 0 {
+		}
+	}
+	if b.EquivalentFullCycles() < 5 {
+		t.Errorf("only %.1f equivalent cycles recorded", b.EquivalentFullCycles())
+	}
+	if b.CapacityWh() >= cap0 {
+		t.Error("capacity did not fade under cycling")
+	}
+	if b.LossWh() <= 0 {
+		t.Error("no losses recorded")
+	}
+}
+
+func TestBankEnergyConservation(t *testing.T) {
+	// Property: stored + delivered + losses == offered, for random
+	// charge/discharge/idle sequences.
+	prop := func(ops []uint16) bool {
+		b, err := NewBank(LeadAcidBank(400))
+		if err != nil {
+			return false
+		}
+		offered := b.StoredWh() // initial charge counts as offered
+		delivered := 0.0
+		for i, op := range ops {
+			p := float64(op % 600)
+			switch i % 3 {
+			case 0:
+				offered += b.Charge(p, 10) * 10 / 60
+			case 1:
+				delivered += b.Discharge(p, 10) * 10 / 60
+			default:
+				b.Idle(10)
+			}
+		}
+		return math.Abs(offered-(b.StoredWh()+delivered+b.LossWh())) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankDegenerateInputs(t *testing.T) {
+	b := newTestBank(t)
+	if b.Charge(-5, 10) != 0 || b.Charge(10, 0) != 0 {
+		t.Error("degenerate charge should be rejected")
+	}
+	if b.Discharge(-5, 10) != 0 || b.Discharge(10, -1) != 0 {
+		t.Error("degenerate discharge should be rejected")
+	}
+	if b.SoC() < 0 || b.SoC() > 1 {
+		t.Errorf("SoC = %v", b.SoC())
+	}
+}

@@ -1,0 +1,95 @@
+package power
+
+import (
+	"math"
+
+	"solarcore/internal/pv"
+)
+
+// Circuit couples a PV generator to the processor rail through the matching
+// converter, reproducing the load-line picture of Figure 5 and the tuning
+// semantics of Table 1.
+//
+// The chip at a fixed DVFS configuration is modeled as the resistance that
+// draws its demanded power at the nominal rail voltage. Reflected through a
+// ratio-k converter of efficiency η, a load resistance R appears to the
+// panel as k²·R·η, so the operating point is the unique intersection of the
+// panel I-V curve with that load line:
+//
+//   - raising the multi-core load w (lower R) swings the line
+//     counterclockwise — load voltage falls, and output power rises or falls
+//     depending on which side of the MPP the point sits (Table 1);
+//   - raising k moves the panel-side voltage up at a given load — the
+//     direction probe of tracking Step 2.
+type Circuit struct {
+	Gen      pv.Generator
+	Conv     *Converter
+	VNominal float64 // nominal load rail voltage (12 V in Figure 8)
+}
+
+// NewCircuit wires a generator to the standard 12 V rail through a default
+// converter.
+func NewCircuit(gen pv.Generator) *Circuit {
+	return &Circuit{Gen: gen, Conv: NewConverter(), VNominal: 12}
+}
+
+// Operating describes one settled electrical operating point.
+type Operating struct {
+	VPanel float64 // panel terminal voltage
+	IPanel float64 // panel output current
+	VLoad  float64 // load rail voltage
+	ILoad  float64 // load rail current
+	PLoad  float64 // power delivered to the load
+}
+
+// LoadResistance converts a power demand at the nominal rail voltage into
+// the equivalent load resistance. Zero or negative demand is an open
+// circuit (+Inf).
+func (c *Circuit) LoadResistance(pWatts float64) float64 {
+	if pWatts <= 0 {
+		return math.Inf(1)
+	}
+	return c.VNominal * c.VNominal / pWatts
+}
+
+// Operate returns the settled operating point for a load resistance rLoad
+// at the rail, under the given environment and the converter's current
+// ratio.
+func (c *Circuit) Operate(env pv.Env, rLoad float64) Operating {
+	voc := c.Gen.OpenCircuitVoltage(env)
+	if voc <= 0 {
+		return Operating{}
+	}
+	if math.IsInf(rLoad, 1) {
+		return Operating{VPanel: voc, VLoad: voc / c.Conv.K}
+	}
+	rPanel := c.Conv.K * c.Conv.K * rLoad * c.Conv.Efficiency
+	vp := pv.OperatingVoltageResistive(c.Gen, env, rPanel)
+	ip := c.Gen.Current(env, vp)
+	vl := c.Conv.LoadVoltage(vp)
+	il := c.Conv.LoadCurrent(ip)
+	return Operating{VPanel: vp, IPanel: ip, VLoad: vl, ILoad: il, PLoad: vl * il}
+}
+
+// OperateAtDemand returns the operating point for a chip demanding pWatts
+// at the nominal rail.
+func (c *Circuit) OperateAtDemand(env pv.Env, pWatts float64) Operating {
+	return c.Operate(env, c.LoadResistance(pWatts))
+}
+
+// AvailableMax returns the maximum power the circuit can deliver to the
+// load under env: the panel MPP derated by converter efficiency.
+func (c *Circuit) AvailableMax(env pv.Env) float64 {
+	return c.Gen.MPP(env).P * c.Conv.Efficiency
+}
+
+// MatchedRatio returns the converter ratio that would place the panel at
+// its MPP voltage while holding the rail at nominal — useful as an initial
+// k and in tests; the tracker itself discovers this point by perturbation.
+func (c *Circuit) MatchedRatio(env pv.Env) float64 {
+	mpp := c.Gen.MPP(env)
+	if mpp.V <= 0 {
+		return c.Conv.K
+	}
+	return mpp.V / c.VNominal
+}

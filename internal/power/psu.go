@@ -1,0 +1,123 @@
+package power
+
+import "fmt"
+
+// Rail is one output rail of a multi-rail power supply unit.
+type Rail struct {
+	Name  string
+	VoltV float64
+	// Source is the supply feeding this rail. Section 4.1: "Today's power
+	// supply unit has multiple output rails which can be leveraged to
+	// power different system components with different power supplies" —
+	// the processor rail rides the solar path while the rest of the
+	// platform stays on the utility.
+	Source Source
+}
+
+// PSU is a multi-rail supply with per-rail, per-source energy accounting.
+type PSU struct {
+	rails  []Rail
+	meters []EnergyMeter
+}
+
+// NewPSU builds a supply from rail definitions. Rail names must be unique.
+func NewPSU(rails []Rail) (*PSU, error) {
+	if len(rails) == 0 {
+		return nil, fmt.Errorf("power: PSU needs at least one rail")
+	}
+	seen := map[string]bool{}
+	for _, r := range rails {
+		if r.Name == "" || r.VoltV <= 0 {
+			return nil, fmt.Errorf("power: invalid rail %+v", r)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("power: duplicate rail %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	return &PSU{rails: append([]Rail(nil), rails...), meters: make([]EnergyMeter, len(rails))}, nil
+}
+
+// NewATX12V returns the paper's assumed configuration per the ATX12V
+// guide: the CPU 12 V rail on the solar path, the peripheral 12 V, 5 V and
+// 3.3 V rails on the utility.
+func NewATX12V() *PSU {
+	psu, err := NewPSU([]Rail{
+		{Name: "12V-CPU", VoltV: 12, Source: Solar},
+		{Name: "12V-peripheral", VoltV: 12, Source: Utility},
+		{Name: "5V", VoltV: 5, Source: Utility},
+		{Name: "3.3V", VoltV: 3.3, Source: Utility},
+	})
+	if err != nil {
+		panic(err) // static configuration, cannot fail
+	}
+	return psu
+}
+
+// Rails lists the rail definitions.
+func (p *PSU) Rails() []Rail { return append([]Rail(nil), p.rails...) }
+
+// find returns the rail index.
+func (p *PSU) find(name string) (int, error) {
+	for i, r := range p.rails {
+		if r.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("power: unknown rail %q", name)
+}
+
+// SetSource reassigns a rail's supply (the ATS act of Figure 8, per rail).
+func (p *PSU) SetSource(rail string, s Source) error {
+	i, err := p.find(rail)
+	if err != nil {
+		return err
+	}
+	p.rails[i].Source = s
+	return nil
+}
+
+// Draw charges watts for dtMin minutes against a rail, attributed to the
+// rail's current source.
+func (p *PSU) Draw(rail string, watts, dtMin float64) error {
+	i, err := p.find(rail)
+	if err != nil {
+		return err
+	}
+	if watts < 0 || dtMin < 0 {
+		return fmt.Errorf("power: negative draw on rail %q", rail)
+	}
+	p.meters[i].Add(p.rails[i].Source, watts, dtMin)
+	return nil
+}
+
+// RailEnergyWh returns one rail's accumulated energy from a source.
+func (p *PSU) RailEnergyWh(rail string, s Source) (float64, error) {
+	i, err := p.find(rail)
+	if err != nil {
+		return 0, err
+	}
+	return p.meters[i].EnergyWh(s), nil
+}
+
+// EnergyWh totals all rails' energy from a source.
+func (p *PSU) EnergyWh(s Source) float64 {
+	sum := 0.0
+	for i := range p.meters {
+		sum += p.meters[i].EnergyWh(s)
+	}
+	return sum
+}
+
+// SolarShare returns the solar fraction of all energy delivered.
+func (p *PSU) SolarShare() float64 {
+	var solar, total float64
+	for i := range p.meters {
+		solar += p.meters[i].EnergyWh(Solar)
+		total += p.meters[i].TotalWh()
+	}
+	if total == 0 {
+		return 0
+	}
+	return solar / total
+}

@@ -1,0 +1,100 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPSUValidation(t *testing.T) {
+	if _, err := NewPSU(nil); err == nil {
+		t.Error("empty PSU should error")
+	}
+	if _, err := NewPSU([]Rail{{Name: "", VoltV: 12}}); err == nil {
+		t.Error("nameless rail should error")
+	}
+	if _, err := NewPSU([]Rail{{Name: "a", VoltV: 0}}); err == nil {
+		t.Error("zero-volt rail should error")
+	}
+	if _, err := NewPSU([]Rail{{Name: "a", VoltV: 12}, {Name: "a", VoltV: 5}}); err == nil {
+		t.Error("duplicate rail should error")
+	}
+}
+
+func TestATX12VLayout(t *testing.T) {
+	psu := NewATX12V()
+	rails := psu.Rails()
+	if len(rails) != 4 {
+		t.Fatalf("%d rails", len(rails))
+	}
+	if rails[0].Name != "12V-CPU" || rails[0].Source != Solar {
+		t.Errorf("CPU rail wrong: %+v", rails[0])
+	}
+	for _, r := range rails[1:] {
+		if r.Source != Utility {
+			t.Errorf("%s should ride the utility", r.Name)
+		}
+	}
+}
+
+func TestDrawAccounting(t *testing.T) {
+	psu := NewATX12V()
+	if err := psu.Draw("12V-CPU", 120, 30); err != nil { // 60 Wh solar
+		t.Fatal(err)
+	}
+	if err := psu.Draw("5V", 20, 60); err != nil { // 20 Wh utility
+		t.Fatal(err)
+	}
+	if got, _ := psu.RailEnergyWh("12V-CPU", Solar); math.Abs(got-60) > 1e-9 {
+		t.Errorf("CPU rail solar = %v", got)
+	}
+	if got := psu.EnergyWh(Utility); math.Abs(got-20) > 1e-9 {
+		t.Errorf("utility total = %v", got)
+	}
+	if got := psu.SolarShare(); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("solar share = %v, want 0.75", got)
+	}
+}
+
+func TestDrawErrors(t *testing.T) {
+	psu := NewATX12V()
+	if err := psu.Draw("9V", 10, 1); err == nil {
+		t.Error("unknown rail should error")
+	}
+	if err := psu.Draw("5V", -1, 1); err == nil {
+		t.Error("negative draw should error")
+	}
+	if _, err := psu.RailEnergyWh("9V", Solar); err == nil {
+		t.Error("unknown rail energy should error")
+	}
+}
+
+func TestSetSourceReattribution(t *testing.T) {
+	psu := NewATX12V()
+	psu.Draw("12V-CPU", 100, 60) // 100 Wh solar
+	if err := psu.SetSource("12V-CPU", Utility); err != nil {
+		t.Fatal(err)
+	}
+	psu.Draw("12V-CPU", 100, 60) // 100 Wh utility after the switch
+	s, _ := psu.RailEnergyWh("12V-CPU", Solar)
+	u, _ := psu.RailEnergyWh("12V-CPU", Utility)
+	if s != 100 || u != 100 {
+		t.Errorf("post-switch attribution: solar %v, utility %v", s, u)
+	}
+	if err := psu.SetSource("9V", Solar); err == nil {
+		t.Error("unknown rail SetSource should error")
+	}
+	// Rails() is a copy: mutating it must not affect the PSU.
+	rails := psu.Rails()
+	rails[0].Source = Solar
+	psu.Draw("12V-CPU", 60, 60)
+	if u2, _ := psu.RailEnergyWh("12V-CPU", Utility); u2 != 160 {
+		t.Error("Rails() aliases internal state")
+	}
+}
+
+func TestEmptyPSUShare(t *testing.T) {
+	psu := NewATX12V()
+	if psu.SolarShare() != 0 {
+		t.Error("no draws should mean zero share")
+	}
+}

@@ -1,0 +1,73 @@
+package power
+
+import "fmt"
+
+// UPS is the uninterruptible supply of Figure 8 that "ensures continuous
+// power delivery to the load" while the automatic transfer switch moves
+// between the panel and the utility. Unlike the standalone battery bank,
+// its store is tiny — it only bridges switch transitions — but every
+// bridge cycles it, so switch-heavy weather wears it out.
+type UPS struct {
+	// CapacityWh is the bridging store (a small VRLA pack or
+	// supercapacitor bank).
+	CapacityWh float64
+	// BridgeSec is how long one ATS transition must be carried.
+	BridgeSec float64
+
+	storedWh  float64
+	bridges   int
+	failures  int
+	bridgedWh float64
+}
+
+// NewUPS returns a UPS sized to bridge loadW watts for at least n
+// transitions' worth of the given bridge time between recharges.
+func NewUPS(capacityWh, bridgeSec float64) (*UPS, error) {
+	if capacityWh <= 0 || bridgeSec <= 0 {
+		return nil, fmt.Errorf("power: UPS capacity and bridge time must be positive")
+	}
+	return &UPS{CapacityWh: capacityWh, BridgeSec: bridgeSec, storedWh: capacityWh}, nil
+}
+
+// Bridge carries loadW watts across one ATS transition. It reports whether
+// the store covered the whole bridge; a false return is a dropped load (in
+// practice: an unplanned reboot).
+func (u *UPS) Bridge(loadW float64) bool {
+	u.bridges++
+	needWh := loadW * u.BridgeSec / 3600
+	if needWh > u.storedWh {
+		u.failures++
+		u.storedWh = 0
+		return false
+	}
+	u.storedWh -= needWh
+	u.bridgedWh += needWh
+	return true
+}
+
+// Recharge tops the store back up from the active supply over dtMin
+// minutes at chargeW; returns the energy actually absorbed (Wh).
+func (u *UPS) Recharge(chargeW, dtMin float64) float64 {
+	if chargeW <= 0 || dtMin <= 0 {
+		return 0
+	}
+	offer := chargeW * dtMin / 60
+	room := u.CapacityWh - u.storedWh
+	if offer > room {
+		offer = room
+	}
+	u.storedWh += offer
+	return offer
+}
+
+// Bridges returns the transition count carried so far.
+func (u *UPS) Bridges() int { return u.bridges }
+
+// Failures returns the count of bridges the store could not cover.
+func (u *UPS) Failures() int { return u.failures }
+
+// BridgedWh returns the total energy delivered during transitions.
+func (u *UPS) BridgedWh() float64 { return u.bridgedWh }
+
+// StoredWh returns the current store level.
+func (u *UPS) StoredWh() float64 { return u.storedWh }

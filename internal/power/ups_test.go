@@ -1,0 +1,68 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewUPSValidation(t *testing.T) {
+	if _, err := NewUPS(0, 5); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := NewUPS(10, 0); err == nil {
+		t.Error("zero bridge time should error")
+	}
+}
+
+func TestUPSBridgesAndRecharges(t *testing.T) {
+	u, err := NewUPS(2, 10) // 2 Wh store, 10 s bridges
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bridge of 180 W for 10 s = 0.5 Wh.
+	if !u.Bridge(180) {
+		t.Fatal("first bridge should succeed")
+	}
+	if math.Abs(u.StoredWh()-1.5) > 1e-9 {
+		t.Errorf("stored = %v, want 1.5", u.StoredWh())
+	}
+	// Three more succeed, the fifth fails (store empty).
+	for i := 0; i < 3; i++ {
+		if !u.Bridge(180) {
+			t.Fatalf("bridge %d should succeed", i+2)
+		}
+	}
+	if u.Bridge(180) {
+		t.Error("bridge on empty store should fail")
+	}
+	if u.Failures() != 1 || u.Bridges() != 5 {
+		t.Errorf("failures=%d bridges=%d", u.Failures(), u.Bridges())
+	}
+	if math.Abs(u.BridgedWh()-2.0) > 1e-9 {
+		t.Errorf("bridged = %v Wh", u.BridgedWh())
+	}
+	// Recharge refills and clamps at capacity.
+	got := u.Recharge(120, 2) // 4 Wh offered, 2 Wh of room
+	if math.Abs(got-2) > 1e-9 || u.StoredWh() != 2 {
+		t.Errorf("recharge absorbed %v, store %v", got, u.StoredWh())
+	}
+	if u.Recharge(-5, 1) != 0 || u.Recharge(5, -1) != 0 {
+		t.Error("degenerate recharge should absorb nothing")
+	}
+}
+
+func TestUPSSizingForSwitchyDay(t *testing.T) {
+	// A TN winter day produces tens of ATS transitions; a store sized for
+	// a couple of bridges between recharges survives because recharge time
+	// dwarfs bridge time.
+	u, _ := NewUPS(5, 10)
+	for i := 0; i < 40; i++ {
+		if !u.Bridge(160) {
+			t.Fatalf("bridge %d dropped the load", i)
+		}
+		u.Recharge(60, 1) // one minute at a 60 W charger between events
+	}
+	if u.Failures() != 0 {
+		t.Errorf("%d dropped bridges", u.Failures())
+	}
+}

@@ -1,0 +1,53 @@
+package pv
+
+// IVPoint is one sample of an I-V sweep: terminal voltage, output current,
+// and the resulting power.
+type IVPoint struct {
+	V float64
+	I float64
+	P float64
+}
+
+// IVCurve samples the generator characteristic at n evenly spaced voltages
+// from 0 to Voc inclusive under env. n must be at least 2; smaller values
+// are raised to 2. This is the data behind Figures 6 and 7.
+func IVCurve(g Generator, env Env, n int) []IVPoint {
+	if n < 2 {
+		n = 2
+	}
+	voc := g.OpenCircuitVoltage(env)
+	pts := make([]IVPoint, n)
+	for i := range pts {
+		v := voc * float64(i) / float64(n-1)
+		c := g.Current(env, v)
+		pts[i] = IVPoint{V: v, I: c, P: v * c}
+	}
+	return pts
+}
+
+// UtilizationAtFixedLoad returns the fraction of the available maximum power
+// a fixed resistive load R extracts under env — the quantity behind
+// Figure 1, which motivates MPP tracking: a load matched at one irradiance
+// loses over half the energy at another.
+//
+// The operating point is the intersection of the generator I-V curve with
+// the load line I = V/R, found by bisection on f(V) = I_gen(V) − V/R, which
+// is strictly decreasing over [0, Voc].
+func UtilizationAtFixedLoad(g Generator, env Env, r float64) float64 {
+	mpp := g.MPP(env)
+	if mpp.P <= 0 || r <= 0 {
+		return 0
+	}
+	v := OperatingVoltageResistive(g, env, r)
+	return g.Power(env, v) / mpp.P
+}
+
+// OperatingVoltageResistive returns the terminal voltage at which the
+// generator I-V curve intersects a resistive load line I = V/R.
+func OperatingVoltageResistive(g Generator, env Env, r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	v, _ := g.ResistiveOperating(env, r)
+	return v
+}

@@ -1,0 +1,181 @@
+package pv
+
+import (
+	"math"
+
+	"solarcore/internal/mathx"
+)
+
+// Module is a PV module evaluated under arbitrary environments. It is
+// stateless and safe for concurrent use.
+type Module struct {
+	P ModuleParams
+
+	// Derived at construction.
+	i0Ref float64 // diode saturation current at TRef, A
+}
+
+// NewModule builds a Module, deriving the reference saturation current from
+// the STC open-circuit condition: Iph(STC) = I0ref·(exp(Voc/NsVt) − 1).
+func NewModule(p ModuleParams) *Module {
+	vt := p.thermalVoltage(TRef)
+	i0 := p.IscRef / math.Expm1(p.VocRef/vt)
+	return &Module{P: p, i0Ref: i0}
+}
+
+// photocurrent returns Iph under env: proportional to irradiance with a
+// linear temperature coefficient.
+func (m *Module) photocurrent(env Env) float64 {
+	if env.Irradiance <= 0 {
+		return 0
+	}
+	return (m.P.IscRef + m.P.Ki*(env.CellTemp-TRef)) * env.Irradiance / GRef
+}
+
+// saturationCurrent returns the diode reverse saturation current I0 at the
+// env cell temperature: I0ref·(T/Tref)³·exp(qEg/(nk)·(1/Tref − 1/T)).
+func (m *Module) saturationCurrent(env Env) float64 {
+	t := kelvin(env.CellTemp)
+	tr := kelvin(TRef)
+	ratio := t / tr
+	expo := q * m.P.BandgapEV / (m.P.IdealityN * kB) * (1/tr - 1/t)
+	return m.i0Ref * ratio * ratio * ratio * math.Exp(expo)
+}
+
+// OpenCircuitVoltage returns Voc under env. At I = 0 the series resistance
+// drops out, so Voc has the closed form NsVt·ln(Iph/I0 + 1).
+func (m *Module) OpenCircuitVoltage(env Env) float64 {
+	iph := m.photocurrent(env)
+	if iph <= 0 {
+		return 0
+	}
+	vt := m.P.thermalVoltage(env.CellTemp)
+	return vt * math.Log(iph/m.saturationCurrent(env)+1)
+}
+
+// ShortCircuitCurrent returns Isc under env (terminal voltage zero).
+func (m *Module) ShortCircuitCurrent(env Env) float64 {
+	return m.Current(env, 0)
+}
+
+// Current returns the module output current at terminal voltage v under env,
+// solving the implicit single-diode equation
+//
+//	I = Iph − I0·(exp((V + I·Rs)/(Ns·n·kT/q)) − 1).
+//
+// For v at or above the open-circuit voltage the result is clamped to 0: the
+// blocking diode of a direct-coupled system prevents the module from sinking
+// current.
+func (m *Module) Current(env Env, v float64) float64 {
+	iph := m.photocurrent(env)
+	if iph <= 0 {
+		return 0
+	}
+	i0 := m.saturationCurrent(env)
+	vt := m.P.thermalVoltage(env.CellTemp)
+	rs := m.P.SeriesR
+
+	if rs == 0 {
+		i := iph - i0*math.Expm1(v/vt)
+		if i < 0 {
+			return 0
+		}
+		return i
+	}
+
+	f := func(i float64) float64 { return iph - i0*math.Expm1((v+i*rs)/vt) - i }
+	df := func(i float64) float64 { return -i0*math.Exp((v+i*rs)/vt)*rs/vt - 1 }
+	lo, hi := -iph-1, iph+1
+	i, err := mathx.NewtonBisect(f, df, lo, hi, 1e-12)
+	if err != nil {
+		// f is strictly decreasing; a failed bracket means v is far beyond
+		// Voc where the module cannot source current.
+		return 0
+	}
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// VoltageAt inverts the I-V characteristic: the terminal voltage at which
+// the module carries current i. The single-diode equation inverts in closed
+// form, V = NsVt·ln((Iph − I)/I0 + 1) − I·Rs. ok is false when the module
+// cannot source i at any forward voltage (i ≥ Iph + I0) — in a series
+// string that is when its bypass diode must conduct.
+func (m *Module) VoltageAt(env Env, i float64) (v float64, ok bool) {
+	iph := m.photocurrent(env)
+	i0 := m.saturationCurrent(env)
+	if i < 0 || iph-i+i0 <= 0 {
+		return 0, false
+	}
+	vt := m.P.thermalVoltage(env.CellTemp)
+	v = vt*math.Log((iph-i)/i0+1) - i*m.P.SeriesR
+	if v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Power returns the module output power V·I(V) at terminal voltage v.
+func (m *Module) Power(env Env, v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return v * m.Current(env, v)
+}
+
+// ResistiveOperating returns the operating point of the module loaded by a
+// resistance r: the intersection of the I-V curve with the load line
+// I = V/R. Substituting I = V/r into the single-diode equation collapses
+// the nested solve into one scalar root find,
+//
+//	h(V) = Iph − I0·(exp(V·(1 + Rs/r)/NsVt) − 1) − V/r = 0,
+//
+// which is strictly decreasing and bracketed by [0, Voc], so the guarded
+// Newton converges in a handful of iterations. This is the hot path of the
+// circuit simulation.
+func (m *Module) ResistiveOperating(env Env, r float64) (v, i float64) {
+	voc := m.OpenCircuitVoltage(env)
+	if voc <= 0 {
+		return 0, 0
+	}
+	if math.IsInf(r, 1) {
+		return voc, 0
+	}
+	if r <= 0 {
+		return 0, m.Current(env, 0)
+	}
+	iph := m.photocurrent(env)
+	i0 := m.saturationCurrent(env)
+	vt := m.P.thermalVoltage(env.CellTemp)
+	c := (1 + m.P.SeriesR/r) / vt
+	h := func(v float64) float64 { return iph - i0*math.Expm1(v*c) - v/r }
+	dh := func(v float64) float64 { return -i0*math.Exp(v*c)*c - 1/r }
+	v, err := mathx.NewtonBisect(h, dh, 0, voc, voc*1e-10)
+	if err != nil {
+		// h(0) = Iph > 0 and h(Voc) < 0, so a bracket failure can only mean
+		// a degenerate panel; behave as a dark module.
+		return 0, 0
+	}
+	return v, v / r
+}
+
+// MPP is a maximum power point: the voltage, current and power at which the
+// generator output is maximal for a given environment.
+type MPP struct {
+	V float64 // V
+	I float64 // A
+	P float64 // W
+}
+
+// MPP returns the maximum power point under env via golden-section search on
+// the unimodal P-V curve over [0, Voc].
+func (m *Module) MPP(env Env) MPP {
+	voc := m.OpenCircuitVoltage(env)
+	if voc <= 0 {
+		return MPP{}
+	}
+	v, p := mathx.GoldenMax(func(v float64) float64 { return m.Power(env, v) }, 0, voc, voc*1e-7)
+	return MPP{V: v, I: p / v, P: p}
+}

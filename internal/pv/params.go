@@ -1,0 +1,83 @@
+// Package pv models photovoltaic generation: the single-diode equivalent
+// circuit of a solar cell (Section 2 of the paper), module- and array-level
+// I-V and P-V characteristics, and maximum-power-point computation.
+//
+// The model is the "moderate complexity" one the paper chooses: a
+// photocurrent source in parallel with one diode plus a series resistance;
+// shunt resistance is neglected. Photocurrent scales with irradiance and has
+// a linear temperature coefficient; diode saturation current follows the
+// usual T³·exp(-Eg/nkT) law. This reproduces the SPICE-derived curve
+// families of Figures 6 and 7 analytically.
+package pv
+
+// Physical constants (SI).
+const (
+	q  = 1.602176634e-19 // elementary charge, C
+	kB = 1.380649e-23    // Boltzmann constant, J/K
+)
+
+// kelvin converts a Celsius temperature to Kelvin.
+func kelvin(celsius float64) float64 { return celsius + 273.15 }
+
+// Standard test conditions used as the calibration reference.
+const (
+	GRef = 1000.0 // W/m², STC irradiance
+	TRef = 25.0   // °C, STC cell temperature
+)
+
+// ModuleParams describes one PV module electrically. The zero value is not
+// usable; start from BP3180N (the module the paper models) or fill every
+// field.
+type ModuleParams struct {
+	Name string
+
+	CellsInSeries int     // Ns, number of series-connected cells
+	IscRef        float64 // short-circuit current at STC, A
+	VocRef        float64 // open-circuit voltage at STC, V
+	Ki            float64 // Isc temperature coefficient, A/K
+	IdealityN     float64 // diode ideality factor n
+	SeriesR       float64 // lumped series resistance Rs, Ω
+	BandgapEV     float64 // semiconductor bandgap Eg, eV (silicon ≈ 1.12)
+
+	// NOCT is the nominal operating cell temperature in °C, used to derive
+	// cell temperature from ambient temperature and irradiance.
+	NOCT float64
+}
+
+// BP3180N returns parameters calibrated to the BP Solar BP3180N 180 W
+// polycrystalline module referenced in Section 3: 72 series cells,
+// Isc ≈ 5.4 A, Voc ≈ 44.2 V, Pmax ≈ 180 W at STC.
+func BP3180N() ModuleParams {
+	return ModuleParams{
+		Name:          "BP3180N",
+		CellsInSeries: 72,
+		IscRef:        5.40,
+		VocRef:        44.2,
+		Ki:            0.0035, // ≈ +0.065 %/K of Isc
+		IdealityN:     1.30,
+		SeriesR:       0.35,
+		BandgapEV:     1.12,
+		NOCT:          47,
+	}
+}
+
+// Env is the atmospheric operating condition seen by the panel.
+type Env struct {
+	Irradiance float64 // G, W/m² on the panel plane
+	CellTemp   float64 // cell temperature, °C
+}
+
+// STC is the standard test condition: 1000 W/m² at 25 °C cell temperature.
+var STC = Env{Irradiance: GRef, CellTemp: TRef}
+
+// CellTemperature estimates cell temperature from ambient temperature and
+// irradiance with the standard NOCT model: Tcell = Tamb + (NOCT-20)/800·G.
+func (p ModuleParams) CellTemperature(ambientC, irradiance float64) float64 {
+	return ambientC + (p.NOCT-20)/800*irradiance
+}
+
+// thermalVoltage returns the module-level thermal voltage n·k·T/q·Ns at cell
+// temperature tC (°C).
+func (p ModuleParams) thermalVoltage(tC float64) float64 {
+	return p.IdealityN * kB * kelvin(tC) / q * float64(p.CellsInSeries)
+}

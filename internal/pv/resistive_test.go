@@ -1,0 +1,77 @@
+package pv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResistiveOperatingOnCurve(t *testing.T) {
+	// Property: the fast joint solve lands on the I-V curve and the load
+	// line simultaneously, for random loads and environments.
+	m := bp()
+	prop := func(rRaw, gRaw uint8) bool {
+		r := 0.5 + float64(rRaw)/4 // 0.5..64 Ω
+		env := Env{Irradiance: 150 + 4*float64(gRaw), CellTemp: 30}
+		v, i := m.ResistiveOperating(env, r)
+		if v < 0 || i < 0 {
+			return false
+		}
+		// On the load line.
+		if math.Abs(i-v/r) > 1e-9 {
+			return false
+		}
+		// On the I-V curve (cross-check against the implicit solver).
+		return math.Abs(m.Current(env, v)-i) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResistiveOperatingEdges(t *testing.T) {
+	m := bp()
+	if v, i := m.ResistiveOperating(Env{0, 25}, 10); v != 0 || i != 0 {
+		t.Errorf("dark: %v, %v", v, i)
+	}
+	v, i := m.ResistiveOperating(STC, math.Inf(1))
+	if i != 0 || math.Abs(v-m.OpenCircuitVoltage(STC)) > 1e-9 {
+		t.Errorf("open: %v, %v", v, i)
+	}
+	v, i = m.ResistiveOperating(STC, 0)
+	if v != 0 || math.Abs(i-m.ShortCircuitCurrent(STC)) > 1e-6 {
+		t.Errorf("short: %v, %v", v, i)
+	}
+}
+
+func TestArrayResistiveOperating(t *testing.T) {
+	// A 2×2 array on a load R behaves like one module on R (same V/I per
+	// module, voltage and current both doubled).
+	a := NewArray(BP3180N(), 2, 2)
+	m := a.Module
+	vm, im := m.ResistiveOperating(STC, 7)
+	va, ia := a.ResistiveOperating(STC, 7)
+	if math.Abs(va-2*vm) > 1e-6 || math.Abs(ia-2*im) > 1e-6 {
+		t.Errorf("array op (%v,%v), want (%v,%v)", va, ia, 2*vm, 2*im)
+	}
+	// Load-line consistency at array level.
+	if math.Abs(ia-va/7) > 1e-9 {
+		t.Errorf("array point off the load line: %v vs %v", ia, va/7)
+	}
+}
+
+func BenchmarkResistiveOperating(b *testing.B) {
+	m := bp()
+	env := Env{Irradiance: 700, CellTemp: 40}
+	for i := 0; i < b.N; i++ {
+		m.ResistiveOperating(env, 3.5)
+	}
+}
+
+func BenchmarkMPP(b *testing.B) {
+	m := bp()
+	env := Env{Irradiance: 700, CellTemp: 40}
+	for i := 0; i < b.N; i++ {
+		m.MPP(env)
+	}
+}

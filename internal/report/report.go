@@ -1,0 +1,386 @@
+// Package report assembles the full evaluation into one self-contained
+// HTML document: every paper figure as an inline SVG chart (package viz),
+// every table as an HTML table, plus the headline comparison — the
+// artifact a reader opens instead of re-running the harness.
+package report
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"solarcore/internal/atmos"
+	"solarcore/internal/exp"
+	"solarcore/internal/mathx"
+	"solarcore/internal/viz"
+)
+
+// Build regenerates every experiment through the lab and renders the
+// report. Pass withAblations to include the design-choice sweeps.
+func Build(l *exp.Lab, withAblations bool) string {
+	var b strings.Builder
+	b.WriteString(htmlHead)
+	b.WriteString("<h1>SolarCore — evaluation report</h1>\n")
+	b.WriteString("<p>Reproduction of <em>SolarCore: Solar Energy Driven Multi-core Architecture\nPower Management</em> (HPCA 2011). Regenerated deterministically by <code>cmd/experiments -html</code>.</p>\n")
+
+	l.Prefetch()
+
+	section(&b, "Headlines", headlinesTable(exp.Headlines(l)))
+	section(&b, "Figure 1 — fixed-load utilization vs irradiance", figure1Chart(exp.Figure1()))
+	section(&b, "Figures 6 &amp; 7 — module P-V families", curveChart(exp.Figure6(128))+curveChart(exp.Figure7(128)))
+	section(&b, "Figures 13 &amp; 14 — MPP tracking accuracy",
+		trackingChart(exp.Figure13(l))+trackingChart(exp.Figure14(l)))
+	section(&b, "Table 7 — relative tracking error", table7HTML(exp.Table7(l)))
+	section(&b, "Figure 15 — duration vs power-transfer threshold", figure15Charts(exp.Figure15(l)))
+	section(&b, "Figures 16 &amp; 17 — fixed budgets vs SolarCore",
+		fixedSweepChart(exp.Figure16(l))+fixedSweepChart(exp.Figure17(l)))
+	section(&b, "Figure 18 — energy utilization vs battery bands", figure18Charts(exp.Figure18(l)))
+	section(&b, "Figure 19 — effective operation duration", figure19Chart(exp.Figure19(l)))
+	section(&b, "Figure 20 — utilization vs duration bucket", figure20Chart(exp.Figure20(l)))
+	section(&b, "Figure 21 — normalized performance", figure21Chart(exp.Figure21(l)))
+
+	if withAblations {
+		abl := []exp.AblationResult{
+			exp.AblationMargin(l),
+			exp.AblationTrackingPeriod(l),
+			exp.AblationDVFSGranularity(l),
+			exp.AblationDeltaK(l),
+			exp.AblationSensorNoise(l),
+			exp.AblationEventTracking(l),
+		}
+		var parts []string
+		for _, a := range abl {
+			parts = append(parts, ablationTable(a))
+		}
+		section(&b, "Ablations", strings.Join(parts, "\n"))
+		section(&b, "Conventional MPPT vs SolarCore", trackerTable(exp.TrackerComparison(l)))
+		section(&b, "Forecast study", forecastTable(exp.ForecastStudy(l)))
+		section(&b, "Cluster consolidation", consolidationTable(exp.ConsolidationStudy()))
+		section(&b, "Sustainability", sustainabilityTable(exp.Sustainability(l)))
+		section(&b, "Mount study", mountTable(exp.MountStudy(l)))
+	}
+
+	b.WriteString("</main></body></html>\n")
+	return b.String()
+}
+
+const htmlHead = `<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>SolarCore evaluation report</title>
+<style>
+body{font-family:system-ui,-apple-system,sans-serif;margin:0;background:#fafafa;color:#222}
+main{max-width:1000px;margin:0 auto;padding:24px}
+h1{font-size:24px} h2{font-size:18px;margin-top:36px;border-bottom:1px solid #ddd;padding-bottom:4px}
+table{border-collapse:collapse;font-size:13px;margin:12px 0}
+th,td{border:1px solid #ddd;padding:4px 10px;text-align:right}
+th{background:#f0f0f0} td:first-child,th:first-child{text-align:left}
+svg{margin:8px 8px 8px 0;background:#fff;border:1px solid #eee}
+</style></head><body><main>
+`
+
+func section(b *strings.Builder, title, body string) {
+	fmt.Fprintf(b, "<h2>%s</h2>\n%s\n", title, body)
+}
+
+// htmlTable renders headers and rows.
+func htmlTable(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("<table><tr>")
+	for _, h := range headers {
+		fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(h))
+	}
+	b.WriteString("</tr>\n")
+	for _, row := range rows {
+		b.WriteString("<tr>")
+		for _, cell := range row {
+			fmt.Fprintf(&b, "<td>%s</td>", html.EscapeString(cell))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>")
+	return b.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+func headlinesTable(h exp.HeadlinesResult) string {
+	return htmlTable(
+		[]string{"claim", "paper", "measured"},
+		[][]string{
+			{"average green-energy utilization", "82%", pct(h.AvgUtilization)},
+			{"MPPT&Opt vs MPPT&RR (PTP)", "+10.8%", pct(h.OptOverRR)},
+			{"MPPT&Opt vs MPPT&IC (PTP)", "+37.8%", pct(h.OptOverIC)},
+			{"MPPT&Opt vs best fixed budget", "≥ +43%", pct(h.OptOverBestFixed)},
+			{"best fixed budget / SolarCore", "< 0.70", fmt.Sprintf("%.2f", h.BestFixedRatio)},
+			{"MPPT&Opt vs Battery-U (PTP)", "≈ −1%", pct(h.OptVsBatteryU)},
+		})
+}
+
+func figure1Chart(r exp.Figure1Result) string {
+	var xs, ys []float64
+	for _, p := range r.Points {
+		xs = append(xs, p.Irradiance)
+		ys = append(ys, p.Utilization*100)
+	}
+	return viz.LineChart{
+		Title:  "Fixed-load energy utilization (matched at 1000 W/m²)",
+		XLabel: "irradiance (W/m²)", YLabel: "utilization (%)",
+		Series: []viz.Series{{Name: "fixed load", X: xs, Y: ys}},
+		W:      480, H: 300,
+	}.SVG()
+}
+
+func curveChart(f exp.CurveFamily) string {
+	var series []viz.Series
+	for i, label := range f.Labels {
+		var xs, ys []float64
+		for _, p := range f.Curves[i] {
+			xs = append(xs, p.V)
+			ys = append(ys, p.P)
+		}
+		series = append(series, viz.Series{Name: label, X: xs, Y: ys})
+	}
+	return viz.LineChart{
+		Title: f.Title, XLabel: "module voltage (V)", YLabel: "power (W)",
+		Series: series, W: 480, H: 320,
+	}.SVG()
+}
+
+func trackingChart(f exp.TrackingFigure) string {
+	var out strings.Builder
+	for i, run := range f.Runs {
+		if f.Mixes[i] != "H1" && f.Mixes[i] != "L1" {
+			continue // keep the report compact: extremes only
+		}
+		var xs, budget, actual []float64
+		for _, p := range run.Series {
+			xs = append(xs, p.Minute)
+			budget = append(budget, p.BudgetW)
+			actual = append(actual, p.ActualW)
+		}
+		out.WriteString(viz.LineChart{
+			Title:  fmt.Sprintf("%s — %s", f.Label, f.Mixes[i]),
+			XLabel: "minute of day", YLabel: "watts",
+			Series: []viz.Series{
+				{Name: "maximal budget", X: xs, Y: budget},
+				{Name: "actual", X: xs, Y: actual},
+			},
+			W: 480, H: 280,
+		}.SVG())
+	}
+	return out.String()
+}
+
+func table7HTML(t exp.Table7Result) string {
+	hm := viz.Heatmap{
+		Title:    "Relative tracking error (geometric mean per day)",
+		ColNames: t.Mixes,
+		Format:   "%.1f",
+	}
+	for _, site := range atmos.Sites {
+		for _, season := range atmos.Seasons {
+			hm.RowNames = append(hm.RowNames, site.Code+" "+season.String())
+			var row []float64
+			for _, e := range t.Err[site.Code][season.String()] {
+				row = append(row, e*100)
+			}
+			hm.Values = append(hm.Values, row)
+		}
+	}
+	return hm.SVG()
+}
+
+func figure15Charts(r exp.Figure15Result) string {
+	var out strings.Builder
+	for _, site := range atmos.Sites {
+		var series []viz.Series
+		for _, row := range r.Rows {
+			if !strings.HasSuffix(row.Label, "@"+site.Code) {
+				continue
+			}
+			series = append(series, viz.Series{Name: row.Label, X: r.Budgets, Y: row.Normalized})
+		}
+		out.WriteString(viz.LineChart{
+			Title:  site.Code + " — normalized effective duration vs threshold",
+			XLabel: "power-transfer threshold (W)", YLabel: "normalized duration",
+			Series: series, W: 480, H: 280,
+		}.SVG())
+	}
+	return out.String()
+}
+
+func fixedSweepChart(r exp.FixedSweepResult) string {
+	var out strings.Builder
+	for _, site := range atmos.Sites {
+		var series []viz.Series
+		for _, season := range atmos.Seasons {
+			series = append(series, viz.Series{
+				Name: season.String(), X: r.Budgets, Y: r.Norm[site.Code][season.String()],
+			})
+		}
+		one := 1.0
+		out.WriteString(viz.LineChart{
+			Title:  fmt.Sprintf("%s — %s (fixed budget / SolarCore)", site.Code, r.Metric),
+			XLabel: "fixed budget (W)", YLabel: "normalized " + r.Metric,
+			Series: series, Refs: []viz.RefLine{{Name: "SolarCore", Y: 1, Color: "#CC0000"}},
+			YMax: &one,
+			W:    480, H: 260,
+		}.SVG())
+	}
+	return out.String()
+}
+
+func figure18Charts(r exp.Figure18Result) string {
+	var out strings.Builder
+	for _, site := range atmos.Sites {
+		var series []viz.BarSeries
+		for pi, policy := range r.Policies {
+			vals := make([]float64, len(r.Mixes))
+			for mi := range r.Mixes {
+				vals[mi] = r.Util[site.Code][mi][pi] * 100
+			}
+			series = append(series, viz.BarSeries{Name: policy, Values: vals})
+		}
+		out.WriteString(viz.BarChart{
+			Title: site.Code + " — energy utilization", YLabel: "%",
+			Categories: r.Mixes, Series: series,
+			Refs: []viz.RefLine{
+				{Name: "battery high", Y: r.BatteryBands["High"] * 100, Color: "#CC0000"},
+				{Name: "battery typical", Y: r.BatteryBands["Moderate"] * 100, Color: "#888888"},
+			},
+			W: 480, H: 280,
+		}.SVG())
+	}
+	return out.String()
+}
+
+func figure19Chart(r exp.Figure19Result) string {
+	var cats []string
+	var vals []float64
+	for _, site := range atmos.Sites {
+		for si, season := range atmos.Seasons {
+			cats = append(cats, season.String()+"@"+site.Code)
+			vals = append(vals, r.SolarShare[site.Code][si]*100)
+		}
+	}
+	return viz.BarChart{
+		Title: "Effective operation duration", YLabel: "% of daytime on solar",
+		Categories: cats,
+		Series:     []viz.BarSeries{{Name: "solar", Values: vals}},
+		W:          960, H: 280,
+	}.SVG()
+}
+
+func figure20Chart(r exp.Figure20Result) string {
+	var cats []string
+	for _, b := range r.Buckets {
+		cats = append(cats, b.Label)
+	}
+	var series []viz.BarSeries
+	for pi, policy := range r.Policies {
+		vals := make([]float64, len(r.Buckets))
+		for bi, b := range r.Buckets {
+			vals[bi] = b.Util[pi] * 100
+		}
+		series = append(series, viz.BarSeries{Name: policy, Values: vals})
+	}
+	return viz.BarChart{
+		Title: "Utilization vs effective-duration bucket", YLabel: "%",
+		Categories: cats, Series: series, W: 640, H: 300,
+	}.SVG()
+}
+
+func figure21Chart(r exp.Figure21Result) string {
+	// Grid-average per mix and series, Battery-L = 1 reference.
+	var series []viz.BarSeries
+	for si, name := range r.Series {
+		vals := make([]float64, len(r.Mixes))
+		for mi := range r.Mixes {
+			var all []float64
+			for _, seasons := range r.Norm {
+				for _, grid := range seasons {
+					all = append(all, grid[mi][si])
+				}
+			}
+			vals[mi] = mathx.Mean(all)
+		}
+		series = append(series, viz.BarSeries{Name: name, Values: vals})
+	}
+	return viz.BarChart{
+		Title: "Normalized PTP by workload (grid average, Battery-L = 1)", YLabel: "× Battery-L",
+		Categories: r.Mixes, Series: series,
+		Refs: []viz.RefLine{{Name: "Battery-L", Y: 1, Color: "#CC0000"}},
+		W:    960, H: 320,
+	}.SVG()
+}
+
+func ablationTable(a exp.AblationResult) string {
+	headers := []string{"config", "utilization", "track err", "PTP (Ginstr)", "duration"}
+	var rows [][]string
+	for _, r := range a.Rows {
+		rows = append(rows, []string{
+			r.Label, pct(r.Utilization), pct(r.TrackErr),
+			fmt.Sprintf("%.0f", r.PTP), pct(r.Duration),
+		})
+	}
+	return fmt.Sprintf("<h3>%s</h3><p>%s</p>%s",
+		html.EscapeString(a.Title), html.EscapeString(a.Knob), htmlTable(headers, rows))
+}
+
+func trackerTable(t exp.TrackerComparisonResult) string {
+	var rows [][]string
+	for _, r := range t.Rows {
+		rows = append(rows, []string{r.Algorithm, pct(r.Efficiency), pct(r.RailExcursion)})
+	}
+	return htmlTable([]string{"algorithm", "tracking eff", "rail excursion"}, rows)
+}
+
+func consolidationTable(c exp.ConsolidationResult) string {
+	var rows [][]string
+	for _, r := range c.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f W", r.BudgetW),
+			fmt.Sprintf("%.0f / %d", r.ActiveOverhead, c.Nodes),
+			fmt.Sprintf("%.0f / %d", r.ActiveFree, c.Nodes),
+			fmt.Sprintf("%.1f", r.ThroughputOver),
+			fmt.Sprintf("%.1f", r.ThroughputFree),
+		})
+	}
+	return htmlTable([]string{"budget", "active (overhead)", "active (free)", "GIPS (overhead)", "GIPS (free)"}, rows)
+}
+
+func sustainabilityTable(s exp.SustainabilityResult) string {
+	var rows [][]string
+	for _, r := range s.Rows {
+		rows = append(rows, []string{
+			r.Site, r.Grid, pct(r.CarbonReduction),
+			fmt.Sprintf("%.2f kg", r.SavedKgPerDay),
+			fmt.Sprintf("$%.0f", r.SavedUSDPerYear),
+		})
+	}
+	return htmlTable([]string{"site", "grid", "carbon reduction", "CO2 saved/day", "cost saved/yr"}, rows)
+}
+
+func mountTable(m exp.MountStudyResult) string {
+	var rows [][]string
+	for _, r := range m.Rows {
+		rows = append(rows, []string{
+			r.Site, fmt.Sprintf("%.0f Wh", r.FixedWh), fmt.Sprintf("%.0f Wh", r.TrackedWh),
+			pct(r.EnergyGain), pct(r.PTPGain),
+		})
+	}
+	return htmlTable([]string{"site", "fixed energy", "tracked energy", "energy gain", "PTP gain"}, rows)
+}
+
+func forecastTable(f exp.ForecastStudyResult) string {
+	headers := append([]string{"pattern"}, f.Forecasters...)
+	var rows [][]string
+	for i, p := range f.Patterns {
+		row := []string{p}
+		for _, v := range f.RelMAE[i] {
+			row = append(row, pct(v))
+		}
+		rows = append(rows, row)
+	}
+	return htmlTable(headers, rows)
+}

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"solarcore/internal/exp"
+)
+
+func TestBuildReport(t *testing.T) {
+	l := exp.NewLab(exp.Options{Quick: true})
+	doc := Build(l, true)
+
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>",
+		"Headlines", "Figure 1", "Table 7", "Figure 21",
+		"Ablations", "Conventional MPPT", "Forecast study",
+		"<svg", "</svg>",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every opened SVG closes.
+	if o, c := strings.Count(doc, "<svg"), strings.Count(doc, "</svg>"); o != c || o < 10 {
+		t.Errorf("svg balance: %d open, %d close", o, c)
+	}
+	// Every opened table closes.
+	if o, c := strings.Count(doc, "<table>"), strings.Count(doc, "</table>"); o != c || o < 5 {
+		t.Errorf("table balance: %d open, %d close", o, c)
+	}
+	// No unescaped policy ampersands leak into text nodes (MPPT&Opt must
+	// appear escaped).
+	if strings.Contains(doc, ">MPPT&Opt<") {
+		t.Error("unescaped ampersand in HTML text")
+	}
+}
+
+func TestBuildReportWithoutAblations(t *testing.T) {
+	l := exp.NewLab(exp.Options{Quick: true})
+	doc := Build(l, false)
+	if strings.Contains(doc, "Forecast study") {
+		t.Error("ablations leaked into base report")
+	}
+	if !strings.Contains(doc, "Figure 18") {
+		t.Error("core figures missing")
+	}
+}

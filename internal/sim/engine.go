@@ -1,0 +1,382 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"solarcore/internal/mathx"
+	"solarcore/internal/mcore"
+	"solarcore/internal/mppt"
+	"solarcore/internal/power"
+	"solarcore/internal/sched"
+	"solarcore/internal/thermal"
+	"solarcore/internal/workload"
+)
+
+// Config describes one day run. Zero-valued fields take the paper's
+// defaults: 10-minute tracking periods, 1-minute sub-sampling, 12 V rail,
+// one DVFS step of power margin, Table 4 chip.
+type Config struct {
+	Day *SolarDay
+	Mix workload.Mix
+
+	Chip           mcore.Config
+	TrackPeriodMin float64
+	StepMin        float64
+	VNominal       float64
+	// MarginSteps is the tracker's protective power margin in DVFS steps.
+	// 0 means the default (2); pass a negative value for no margin.
+	MarginSteps int
+	// DeltaK overrides the converter's ratio perturbation step (0 keeps
+	// the converter default).
+	DeltaK float64
+	// ScanPoints enables the controller's global ratio scan at each
+	// tracking session (see mppt.Config.ScanPoints) — needed under partial
+	// shading, harmless without it.
+	ScanPoints int
+	// DVFSTransitionUs charges every per-core operating-point change a
+	// stall of this many microseconds (VRM ramp + PLL relock). Zero —
+	// the default — models the fast on-chip regulators of the paper's
+	// reference [13]; tens of microseconds model conventional off-chip
+	// VRMs. The stall is debited from committed instructions.
+	DVFSTransitionUs float64
+	// EventTracking additionally re-triggers a full MPP tracking session
+	// mid-period whenever the available power has drifted more than 15 %
+	// from its value at the last session — "the processor starts tuning its
+	// load when the controller detects a change in PV power supply"
+	// (Figure 12) taken to its event-driven conclusion.
+	EventTracking bool
+	// SensorError injects multiplicative I/V sensor noise into the
+	// controller (see mppt.Config.SensorError).
+	SensorError float64
+	// Thermal enables the per-core RC die-temperature model and throttle
+	// governor; nil runs thermally unconstrained (the paper's setting).
+	Thermal *thermal.Config
+	// KeepSeries retains the per-sub-sample budget/actual trace.
+	KeepSeries bool
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Day == nil {
+		return fmt.Errorf("sim: config needs a SolarDay")
+	}
+	if len(c.Mix.Programs) == 0 {
+		return fmt.Errorf("sim: config needs a workload mix")
+	}
+	if c.Chip.Cores == 0 {
+		c.Chip = mcore.DefaultConfig()
+	}
+	if c.TrackPeriodMin <= 0 {
+		c.TrackPeriodMin = 10
+	}
+	if c.StepMin <= 0 {
+		c.StepMin = 1
+	}
+	if c.VNominal <= 0 {
+		c.VNominal = 12
+	}
+	if c.MarginSteps == 0 {
+		c.MarginSteps = 2
+	}
+	if c.MarginSteps < 0 {
+		c.MarginSteps = 0
+	}
+	return nil
+}
+
+// buildChip constructs the chip and applies the mix.
+func buildChip(cfg *Config) (*mcore.Chip, error) {
+	chip, err := mcore.NewChip(cfg.Chip)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Mix.Apply(chip); err != nil {
+		return nil, err
+	}
+	chip.SetAllLevels(mcore.Gated)
+	return chip, nil
+}
+
+// RunMPPT simulates one day under SolarCore power management with the
+// given load-adaptation policy (MPPT&IC, MPPT&RR or MPPT&Opt).
+func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	chip, err := buildChip(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	circuit := power.NewCircuit(cfg.Day.Gen)
+	circuit.VNominal = cfg.VNominal
+	if cfg.DeltaK > 0 {
+		circuit.Conv.DeltaK = cfg.DeltaK
+	}
+	ctrl, err := mppt.New(circuit, chip, alloc, mppt.Config{
+		MarginSteps: cfg.MarginSteps,
+		SensorError: cfg.SensorError,
+		ScanPoints:  cfg.ScanPoints,
+	})
+	if err != nil {
+		return nil, err
+	}
+	alloc.Reset()
+
+	var thermalModel *thermal.Model
+	if cfg.Thermal != nil {
+		_, amb := cfg.Day.Trace.At(cfg.Day.StartMinute())
+		thermalModel, err = thermal.NewModel(chip, *cfg.Thermal, amb)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := newResult(cfg, alloc.Name())
+	eta := circuit.Conv.Efficiency
+	var meter power.EnergyMeter
+	ats := power.NewTransferSwitch(power.Utility)
+	top := chip.NumLevels() - 1
+	// The protective power margin is sized from the observed load ripple
+	// (Section 6.1: high-EPI workloads generate large power ripples, so
+	// they must keep more headroom and pay a larger tracking error). An
+	// EWMA of the relative step-to-step demand change drives the hysteresis
+	// band for mid-period load re-raising.
+	ripple := 0.02
+	prevDemand := 0.0
+	raiseBand := func() float64 {
+		return mathx.Clamp(5*ripple, 0.12, 0.40)
+	}
+
+	start, end := cfg.Day.StartMinute(), cfg.Day.EndMinute()
+	for t0 := start; t0 < end; t0 += cfg.TrackPeriodMin {
+		t1 := math.Min(t0+cfg.TrackPeriodMin, end)
+		track := ctrl.Track(cfg.Day.EnvAt(t0), t0)
+		onSolar := track.Solar()
+		trackBudget := eta * cfg.Day.MPPAt(t0)
+		prevDemand = 0 // tracking moved the levels; restart ripple pairing
+		if !onSolar {
+			res.Overloads++
+			// Traditional CMP on the utility: run flat out (Section 6.3).
+			chip.SetAllLevels(top)
+		}
+		var errs []float64
+		for t := t0; t < t1-1e-9; t += cfg.StepMin {
+			dt := math.Min(cfg.StepMin, t1-t)
+			budget := eta * cfg.Day.MPPAt(t)
+			if cfg.EventTracking && trackBudget > 0 &&
+				math.Abs(budget-trackBudget) > 0.15*trackBudget {
+				track = ctrl.Track(cfg.Day.EnvAt(t), t)
+				onSolar = track.Solar()
+				trackBudget = budget
+				prevDemand = 0
+				if !onSolar {
+					res.Overloads++
+					chip.SetAllLevels(top)
+				}
+			}
+			demand := chip.Power(t)
+			// Ripple is the phase-induced demand drift at unchanged DVFS
+			// levels: compare against the post-adaptation demand of the
+			// previous sub-sample.
+			if prevDemand > 0 && demand > 0 {
+				r := math.Abs(demand-prevDemand) / prevDemand
+				ripple = 0.9*ripple + 0.1*r
+			}
+			if onSolar {
+				// Mid-period load adaptation: the controller "starts tuning
+				// its load when it detects a change in PV power supply"
+				// (Figure 12). A supply drop or phase swing above the
+				// budget sheds load instead of dropping to the utility; a
+				// recovering supply re-raises the load once the gap exceeds
+				// the hysteresis band, preserving the protective margin.
+				for demand > budget {
+					if !alloc.Lower(chip, t) {
+						break
+					}
+					demand = chip.Power(t)
+				}
+				for budget-demand > raiseBand()*budget {
+					if !alloc.Raise(chip, t) {
+						break
+					}
+					if next := chip.Power(t); next <= budget {
+						demand = next
+					} else {
+						alloc.Lower(chip, t)
+						demand = chip.Power(t)
+						break
+					}
+				}
+			}
+			if thermalModel != nil {
+				// Sub-step at the thermal time constant so the governor can
+				// intervene during the transient, as a real ms-scale
+				// governor would.
+				_, amb := cfg.Day.Trace.At(t)
+				inner := cfg.Thermal.TauMin / 10
+				if inner <= 0 || inner > dt {
+					inner = dt
+				}
+				for done := 0.0; done < dt-1e-12; done += inner {
+					step := math.Min(inner, dt-done)
+					thermalModel.Advance(t, step, amb)
+				}
+				demand = chip.Power(t) // throttling may have shed load
+			}
+			prevDemand = demand
+			solarNow := onSolar && demand > 0 && demand <= budget
+			if solarNow {
+				ats.Select(power.Solar)
+				meter.Add(power.Solar, demand, dt)
+				res.SolarMin += dt
+				res.GInstrSolar += chip.Throughput(t) * dt * 60
+				if budget > 0 {
+					errs = append(errs, math.Abs(budget-demand)/budget)
+				}
+			} else {
+				ats.Select(power.Utility)
+				meter.Add(power.Utility, demand, dt)
+			}
+			res.GInstrTotal += chip.Throughput(t) * dt * 60
+			if cfg.KeepSeries {
+				actual := 0.0
+				if solarNow {
+					actual = demand
+				}
+				res.Series = append(res.Series, TracePoint{Minute: t, BudgetW: budget, ActualW: actual, OnSolar: solarNow})
+			}
+		}
+		if onSolar && len(errs) > 0 {
+			res.PeriodErrs = append(res.PeriodErrs, mathx.Mean(errs))
+		}
+	}
+	res.SolarWh = meter.EnergyWh(power.Solar)
+	res.UtilityWh = meter.EnergyWh(power.Utility)
+	res.Transitions = chip.Transitions()
+	res.ATSSwitches = ats.Switches()
+	if thermalModel != nil {
+		res.ThrottleEvents = thermalModel.ThrottleEvents()
+		res.PeakTempC = thermalModel.Peak()
+	}
+	if cfg.DVFSTransitionUs > 0 {
+		// Debit the cumulative transition stall from committed work at the
+		// day's mean throughput. Individual stalls are far shorter than a
+		// sub-sample, so the aggregate debit is exact to first order.
+		stallSec := float64(res.Transitions) * cfg.DVFSTransitionUs * 1e-6
+		daySec := res.DaytimeMin * 60
+		if daySec > 0 {
+			frac := stallSec / daySec
+			if frac > 1 {
+				frac = 1
+			}
+			res.GInstrSolar *= 1 - frac
+			res.GInstrTotal *= 1 - frac
+		}
+	}
+	return res, nil
+}
+
+// RunFixed simulates one day under the non-tracking Fixed-Power baseline:
+// the chip is planned for a constant budget (greedy LP, Table 6) and runs
+// on solar only while the panel's deliverable power covers that budget —
+// the power-transfer threshold semantics of Section 6.2.
+func RunFixed(cfg Config, budgetW float64) (*DayResult, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if budgetW <= 0 {
+		return nil, fmt.Errorf("sim: fixed budget must be positive, got %v", budgetW)
+	}
+	chip, err := buildChip(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	conv := power.NewConverter()
+	eta := conv.Efficiency
+
+	res := newResult(cfg, "Fixed-Power")
+	res.Policy = fmt.Sprintf("Fixed-Power(%gW)", budgetW)
+	var meter power.EnergyMeter
+
+	start, end := cfg.Day.StartMinute(), cfg.Day.EndMinute()
+	for t0 := start; t0 < end; t0 += cfg.TrackPeriodMin {
+		t1 := math.Min(t0+cfg.TrackPeriodMin, end)
+		sched.PlanBudget(chip, t0, budgetW)
+		for t := t0; t < t1-1e-9; t += cfg.StepMin {
+			dt := math.Min(cfg.StepMin, t1-t)
+			avail := eta * cfg.Day.MPPAt(t)
+			demand := chip.Power(t)
+			solarNow := avail >= budgetW && demand > 0 && demand <= avail
+			if solarNow {
+				meter.Add(power.Solar, demand, dt)
+				res.SolarMin += dt
+				res.GInstrSolar += chip.Throughput(t) * dt * 60
+			} else {
+				meter.Add(power.Utility, demand, dt)
+			}
+			res.GInstrTotal += chip.Throughput(t) * dt * 60
+			if cfg.KeepSeries {
+				actual := 0.0
+				if solarNow {
+					actual = demand
+				}
+				res.Series = append(res.Series, TracePoint{Minute: t, BudgetW: avail, ActualW: actual, OnSolar: solarNow})
+			}
+		}
+	}
+	res.SolarWh = meter.EnergyWh(power.Solar)
+	res.UtilityWh = meter.EnergyWh(power.Utility)
+	return res, nil
+}
+
+// RunBattery simulates the battery-equipped standalone baseline of
+// Section 5: a dedicated MPPT charge controller harvests the panel's
+// maximum power all day, the de-rated energy is buffered, and the chip
+// consumes it at full speed under a stable supply until it runs out.
+func RunBattery(cfg Config, eff float64) (*DayResult, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if eff <= 0 || eff > 1 {
+		return nil, fmt.Errorf("sim: battery efficiency %v outside (0,1]", eff)
+	}
+	chip, err := buildChip(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	chip.SetAllLevels(chip.NumLevels() - 1)
+
+	res := newResult(cfg, fmt.Sprintf("Battery(%.0f%%)", eff*100))
+	bat := power.NewBatterySystem(eff)
+
+	start, end := cfg.Day.StartMinute(), cfg.Day.EndMinute()
+	// The battery is optimally charged by its own tracker (Section 5): the
+	// whole day's MPP energy is banked up front.
+	for t := start; t < end-1e-9; t += cfg.StepMin {
+		dt := math.Min(cfg.StepMin, end-t)
+		bat.Harvest(cfg.Day.MPPAt(t), dt)
+	}
+	for t := start; t < end-1e-9; t += cfg.StepMin {
+		dt := math.Min(cfg.StepMin, end-t)
+		demand := chip.Power(t)
+		got := bat.Draw(demand, dt)
+		if got <= 0 {
+			break
+		}
+		res.SolarMin += got
+		res.SolarWh += demand * got / 60
+		res.GInstrSolar += chip.Throughput(t) * got * 60
+		res.GInstrTotal += chip.Throughput(t) * got * 60
+	}
+	return res, nil
+}
+
+func newResult(cfg Config, policy string) *DayResult {
+	return &DayResult{
+		Policy:      policy,
+		Mix:         cfg.Mix.Name,
+		Label:       cfg.Day.Trace.Label(),
+		DaytimeMin:  cfg.Day.DaytimeMinutes(),
+		MPPEnergyWh: cfg.Day.MPPEnergyWh(),
+	}
+}

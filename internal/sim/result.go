@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"solarcore/internal/mathx"
+)
+
+// TracePoint is one sub-sample of a day run: the instantaneous maximal
+// power budget and the power actually consumed from the panel — the two
+// curves plotted in Figures 13 and 14.
+type TracePoint struct {
+	Minute  float64
+	BudgetW float64 // maximal deliverable solar power (after conversion)
+	ActualW float64 // power drawn from the panel (0 when on utility)
+	OnSolar bool
+}
+
+// DayResult aggregates one policy run over one day.
+type DayResult struct {
+	Policy string
+	Mix    string
+	Label  string // weather pattern, e.g. "Jan@AZ"
+
+	DaytimeMin float64 // simulated daytime span
+	SolarMin   float64 // effective operation duration (solar-powered minutes)
+
+	MPPEnergyWh float64 // theoretical maximum solar supply (panel side)
+	SolarWh     float64 // solar energy delivered to the chip
+	UtilityWh   float64 // backup energy delivered to the chip
+
+	// GInstrSolar is the performance-time product: giga-instructions
+	// committed while solar-powered. GInstrTotal additionally counts
+	// utility-powered work.
+	GInstrSolar float64
+	GInstrTotal float64
+
+	// PeriodErrs holds one relative tracking error per solar-powered
+	// tracking period: mean over the period of |budget − actual|/budget.
+	PeriodErrs []float64
+
+	// Overloads counts tracking periods that could not be solar-powered.
+	Overloads int
+
+	// Transitions counts per-core DVFS level changes over the day (each
+	// one costs a VRM ramp; see Config.DVFSTransitionUs).
+	Transitions uint64
+
+	// ATSSwitches counts automatic-transfer-switch transitions between the
+	// solar and utility supplies — every pair is a seam the UPS must ride
+	// through (Figure 8).
+	ATSSwitches int
+
+	// ThrottleEvents and PeakTempC report the thermal governor's activity
+	// when Config.Thermal is set.
+	ThrottleEvents int
+	PeakTempC      float64
+
+	// Series is the sub-sampled budget/actual trace (Figures 13-14).
+	Series []TracePoint
+}
+
+// Utilization returns the green-energy utilization: solar energy consumed
+// over the theoretical maximum supply.
+func (r *DayResult) Utilization() float64 {
+	if r.MPPEnergyWh <= 0 {
+		return 0
+	}
+	return r.SolarWh / r.MPPEnergyWh
+}
+
+// EffectiveDuration returns the fraction of daytime spent solar-powered.
+func (r *DayResult) EffectiveDuration() float64 {
+	if r.DaytimeMin <= 0 {
+		return 0
+	}
+	return r.SolarMin / r.DaytimeMin
+}
+
+// TrackErrGeoMean returns the geometric mean of the per-period relative
+// tracking errors (the Table 7 statistic).
+func (r *DayResult) TrackErrGeoMean() float64 {
+	return mathx.GeoMean(r.PeriodErrs)
+}
+
+// PTP returns the performance-time product in giga-instructions per day.
+func (r *DayResult) PTP() float64 { return r.GInstrSolar }

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+
+	"solarcore/internal/mathx"
+	"solarcore/internal/sched"
+)
+
+// SeriesResult aggregates a multi-day deployment under one policy.
+type SeriesResult struct {
+	Days []*DayResult
+}
+
+// MeanUtilization returns the average daily green-energy utilization.
+func (s *SeriesResult) MeanUtilization() float64 {
+	vals := make([]float64, len(s.Days))
+	for i, d := range s.Days {
+		vals[i] = d.Utilization()
+	}
+	return mathx.Mean(vals)
+}
+
+// MeanEffectiveDuration returns the average daily solar-powered fraction.
+func (s *SeriesResult) MeanEffectiveDuration() float64 {
+	vals := make([]float64, len(s.Days))
+	for i, d := range s.Days {
+		vals[i] = d.EffectiveDuration()
+	}
+	return mathx.Mean(vals)
+}
+
+// TotalPTP returns the total solar-powered giga-instructions.
+func (s *SeriesResult) TotalPTP() float64 {
+	sum := 0.0
+	for _, d := range s.Days {
+		sum += d.PTP()
+	}
+	return sum
+}
+
+// TotalSolarWh returns the total solar energy delivered.
+func (s *SeriesResult) TotalSolarWh() float64 {
+	sum := 0.0
+	for _, d := range s.Days {
+		sum += d.SolarWh
+	}
+	return sum
+}
+
+// TrackErrGeoMean pools every tracking period across the deployment.
+func (s *SeriesResult) TrackErrGeoMean() float64 {
+	var all []float64
+	for _, d := range s.Days {
+		all = append(all, d.PeriodErrs...)
+	}
+	return mathx.GeoMean(all)
+}
+
+// RunMPPTSeries runs the same configuration over a sequence of solar days
+// (a multi-day deployment) under one MPPT policy. The allocator persists
+// across days, as a deployed controller would.
+func RunMPPTSeries(base Config, alloc sched.Allocator, days []*SolarDay) (*SeriesResult, error) {
+	if len(days) == 0 {
+		return nil, fmt.Errorf("sim: series needs at least one day")
+	}
+	out := &SeriesResult{}
+	for i, day := range days {
+		cfg := base
+		cfg.Day = day
+		res, err := RunMPPT(cfg, alloc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: series day %d: %w", i, err)
+		}
+		out.Days = append(out.Days, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+// Package sustain turns simulation energy ledgers into the quantities the
+// paper's introduction argues about: fossil carbon displaced and utility
+// cost avoided by running compute on harvested solar energy. "This paper
+// makes the first step on maximally reducing the carbon footprint of
+// computing systems" — this package is where that footprint is computed.
+package sustain
+
+import (
+	"fmt"
+
+	"solarcore/internal/sim"
+)
+
+// GridProfile characterizes the utility feeding a site: average carbon
+// intensity and retail price. Values are circa-2009 regional figures to
+// match the paper's evaluation year.
+type GridProfile struct {
+	Name          string
+	CarbonGPerKWh float64 // grid average emissions, g CO₂ / kWh
+	PricePerKWh   float64 // retail electricity price, $ / kWh
+}
+
+// profiles maps the Table 2 sites to their regional grids.
+var profiles = map[string]GridProfile{
+	"AZ": {Name: "Arizona (WECC Southwest)", CarbonGPerKWh: 560, PricePerKWh: 0.098},
+	"CO": {Name: "Colorado (WECC Rockies)", CarbonGPerKWh: 780, PricePerKWh: 0.094},
+	"NC": {Name: "North Carolina (SERC East)", CarbonGPerKWh: 550, PricePerKWh: 0.089},
+	"TN": {Name: "Tennessee (TVA)", CarbonGPerKWh: 520, PricePerKWh: 0.083},
+}
+
+// ProfileFor returns the grid profile for a Table 2 site code; unknown
+// codes get the US average.
+func ProfileFor(siteCode string) GridProfile {
+	if p, ok := profiles[siteCode]; ok {
+		return p
+	}
+	return GridProfile{Name: "US average", CarbonGPerKWh: 590, PricePerKWh: 0.095}
+}
+
+// Impact is the sustainability ledger of one simulated day.
+type Impact struct {
+	SolarKWh   float64
+	UtilityKWh float64
+	// CarbonEmittedKg is the footprint of the utility draw; CarbonSavedKg
+	// is what the solar-supplied energy would have emitted on the grid.
+	CarbonEmittedKg float64
+	CarbonSavedKg   float64
+	// CostSaved is the utility bill avoided by the solar share.
+	CostSaved float64
+}
+
+// CarbonReduction returns the fraction of the chip's footprint eliminated
+// relative to running entirely on the utility.
+func (im Impact) CarbonReduction() float64 {
+	total := im.CarbonEmittedKg + im.CarbonSavedKg
+	if total == 0 {
+		return 0
+	}
+	return im.CarbonSavedKg / total
+}
+
+// String summarizes the ledger.
+func (im Impact) String() string {
+	return fmt.Sprintf("solar %.2f kWh, utility %.2f kWh → %.0f%% carbon reduction (%.2f kg saved, $%.2f avoided)",
+		im.SolarKWh, im.UtilityKWh, im.CarbonReduction()*100, im.CarbonSavedKg, im.CostSaved)
+}
+
+// Assess computes the ledger of a day result against a grid profile.
+func Assess(res *sim.DayResult, gp GridProfile) Impact {
+	solar := res.SolarWh / 1000
+	utility := res.UtilityWh / 1000
+	return Impact{
+		SolarKWh:        solar,
+		UtilityKWh:      utility,
+		CarbonEmittedKg: utility * gp.CarbonGPerKWh / 1000,
+		CarbonSavedKg:   solar * gp.CarbonGPerKWh / 1000,
+		CostSaved:       solar * gp.PricePerKWh,
+	}
+}
+
+// Sum accumulates impacts (e.g. across a multi-day deployment).
+func Sum(impacts ...Impact) Impact {
+	var out Impact
+	for _, im := range impacts {
+		out.SolarKWh += im.SolarKWh
+		out.UtilityKWh += im.UtilityKWh
+		out.CarbonEmittedKg += im.CarbonEmittedKg
+		out.CarbonSavedKg += im.CarbonSavedKg
+		out.CostSaved += im.CostSaved
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+)
+
+// Heatmap renders a row×column matrix with a sequential color scale — the
+// natural shape for Table 7's site-season × workload error grid.
+type Heatmap struct {
+	Title    string
+	RowNames []string
+	ColNames []string
+	Values   [][]float64 // [row][col]
+	// Format renders the in-cell label; default "%.2g".
+	Format string
+	W, H   int
+}
+
+// heatColor maps t ∈ [0,1] to a white→blue→dark ramp.
+func heatColor(t float64) string {
+	t = math.Max(0, math.Min(1, t))
+	// Interpolate white (255,255,255) → #0072B2 (0,114,178) → #002B44.
+	var r, g, b float64
+	if t < 0.5 {
+		u := t * 2
+		r = 255 + (0-255)*u
+		g = 255 + (114-255)*u
+		b = 255 + (178-255)*u
+	} else {
+		u := (t - 0.5) * 2
+		r = 0
+		g = 114 + (43-114)*u
+		b = 178 + (68-178)*u
+	}
+	return fmt.Sprintf("#%02x%02x%02x", int(r), int(g), int(b))
+}
+
+// SVG renders the heatmap.
+func (h Heatmap) SVG() string {
+	rows, cols := len(h.RowNames), len(h.ColNames)
+	if rows == 0 || cols == 0 {
+		f := newFrame(h.Title, 320, 80, 0, 1, 0, 1)
+		return f.done()
+	}
+	format := h.Format
+	if format == "" {
+		format = "%.2g"
+	}
+	w, ht := h.W, h.H
+	if w <= 0 {
+		w = marginL + marginR + cols*52
+	}
+	if ht <= 0 {
+		ht = marginT + marginB + rows*20
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range h.Values {
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	f := newFrame(h.Title, w, ht, 0, 1, 0, 1)
+	cellW := (float64(w) - marginL - marginR) / float64(cols)
+	cellH := (float64(ht) - marginT - marginB) / float64(rows)
+	for ri := 0; ri < rows && ri < len(h.Values); ri++ {
+		y := marginT + cellH*float64(ri)
+		fmt.Fprintf(&f.b, `<text x="%d" y="%.1f" font-size="9" fill="#333" text-anchor="end">%s</text>`,
+			marginL-5, y+cellH/2+3, esc(h.RowNames[ri]))
+		for ci := 0; ci < cols && ci < len(h.Values[ri]); ci++ {
+			v := h.Values[ri][ci]
+			t := (v - lo) / (hi - lo)
+			x := marginL + cellW*float64(ci)
+			fmt.Fprintf(&f.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				x, y, cellW, cellH, heatColor(t))
+			textColor := "#222"
+			if t > 0.55 {
+				textColor = "#fff"
+			}
+			fmt.Fprintf(&f.b, `<text x="%.1f" y="%.1f" font-size="8.5" fill="%s" text-anchor="middle">%s</text>`,
+				x+cellW/2, y+cellH/2+3, textColor, esc(fmt.Sprintf(format, v)))
+		}
+	}
+	for ci, name := range h.ColNames {
+		x := marginL + cellW*(float64(ci)+0.5)
+		fmt.Fprintf(&f.b, `<text x="%.1f" y="%d" font-size="9" fill="#333" text-anchor="middle">%s</text>`,
+			x, marginT-4, esc(name))
+	}
+	return f.done()
+}

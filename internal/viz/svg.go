@@ -1,0 +1,161 @@
+// Package viz renders the repository's experiment data as self-contained
+// SVG charts using only the standard library, so cmd/experiments can emit
+// a single HTML report with every figure inline — no plotting toolchain
+// required to look at results.
+//
+// The renderer is deliberately small: line charts (time series, sweeps)
+// and grouped bar charts (per-category comparisons), with automatic "nice"
+// axis ticks, a legend, and optional horizontal reference lines (the
+// battery bands of Figure 18).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette is the default series color cycle (colorblind-safe Okabe-Ito).
+var Palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00",
+	"#CC79A7", "#56B4E9", "#F0E442", "#000000",
+}
+
+const (
+	fontFamily = "system-ui, -apple-system, sans-serif"
+	marginL    = 64
+	marginR    = 16
+	marginT    = 36
+	marginB    = 46
+)
+
+// esc escapes text for SVG.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceTicks returns ~n rounded tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	norm := rawStep / mag
+	var step float64
+	switch {
+	case norm < 1.5:
+		step = 1 * mag
+	case norm < 3.5:
+		step = 2 * mag
+	case norm < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step*1e-9; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// formatTick renders a tick label compactly.
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+// frame draws the chart frame: background, title, axis lines, ticks, grid.
+type frame struct {
+	b              strings.Builder
+	w, h           int
+	x0, x1, y0, y1 float64 // data ranges
+	plotW, plotH   float64
+}
+
+func newFrame(title string, w, h int, x0, x1, y0, y1 float64) *frame {
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 360
+	}
+	if x1 <= x0 {
+		x1 = x0 + 1
+	}
+	if y1 <= y0 {
+		y1 = y0 + 1
+	}
+	f := &frame{w: w, h: h, x0: x0, x1: x1, y0: y0, y1: y1}
+	f.plotW = float64(w - marginL - marginR)
+	f.plotH = float64(h - marginT - marginB)
+	fmt.Fprintf(&f.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="%s">`,
+		w, h, w, h, fontFamily)
+	fmt.Fprintf(&f.b, `<rect width="%d" height="%d" fill="#ffffff"/>`, w, h)
+	fmt.Fprintf(&f.b, `<text x="%d" y="20" font-size="14" font-weight="600" fill="#222">%s</text>`,
+		marginL, esc(title))
+	return f
+}
+
+// px maps a data x to pixels.
+func (f *frame) px(x float64) float64 {
+	return marginL + (x-f.x0)/(f.x1-f.x0)*f.plotW
+}
+
+// py maps a data y to pixels.
+func (f *frame) py(y float64) float64 {
+	return marginT + f.plotH - (y-f.y0)/(f.y1-f.y0)*f.plotH
+}
+
+// axes draws grid lines, ticks and labels.
+func (f *frame) axes(xLabel, yLabel string, xTicks []float64) {
+	for _, ty := range niceTicks(f.y0, f.y1, 5) {
+		y := f.py(ty)
+		fmt.Fprintf(&f.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e4e4e4"/>`,
+			marginL, y, f.w-marginR, y)
+		fmt.Fprintf(&f.b, `<text x="%d" y="%.1f" font-size="10" fill="#555" text-anchor="end">%s</text>`,
+			marginL-6, y+3, esc(formatTick(ty)))
+	}
+	for _, tx := range xTicks {
+		x := f.px(tx)
+		fmt.Fprintf(&f.b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#f0f0f0"/>`,
+			x, marginT, x, f.h-marginB)
+		fmt.Fprintf(&f.b, `<text x="%.1f" y="%d" font-size="10" fill="#555" text-anchor="middle">%s</text>`,
+			x, f.h-marginB+14, esc(formatTick(tx)))
+	}
+	// Axis frame.
+	fmt.Fprintf(&f.b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#999"/>`,
+		marginL, marginT, f.plotW, f.plotH)
+	if xLabel != "" {
+		fmt.Fprintf(&f.b, `<text x="%.1f" y="%d" font-size="11" fill="#333" text-anchor="middle">%s</text>`,
+			marginL+f.plotW/2, f.h-8, esc(xLabel))
+	}
+	if yLabel != "" {
+		fmt.Fprintf(&f.b, `<text x="14" y="%.1f" font-size="11" fill="#333" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`,
+			marginT+f.plotH/2, marginT+f.plotH/2, esc(yLabel))
+	}
+}
+
+// legend draws a horizontal legend above the plot.
+func (f *frame) legend(names []string) {
+	x := float64(marginL)
+	for i, name := range names {
+		color := Palette[i%len(Palette)]
+		fmt.Fprintf(&f.b, `<rect x="%.1f" y="%d" width="10" height="10" fill="%s"/>`, x, marginT-12, color)
+		fmt.Fprintf(&f.b, `<text x="%.1f" y="%d" font-size="10" fill="#333">%s</text>`, x+13, marginT-3, esc(name))
+		x += 13 + float64(7*len(name)) + 14
+	}
+}
+
+func (f *frame) done() string {
+	f.b.WriteString("</svg>")
+	return f.b.String()
+}

@@ -1,0 +1,219 @@
+package viz
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wellFormed parses the SVG as XML — catches unescaped text, unclosed
+// tags, and attribute syntax errors.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title:  `Power <budget> & "actual"`,
+		XLabel: "minute",
+		YLabel: "watts",
+		Series: []Series{
+			{Name: "budget", X: []float64{0, 1, 2, 3}, Y: []float64{10, 30, 25, 5}},
+			{Name: "actual", X: []float64{0, 1, 2, 3}, Y: []float64{8, 27, 22, 4}},
+		},
+		Refs: []RefLine{{Name: "cap", Y: 28}},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	for _, want := range []string{"budget", "actual", "cap", "watts", "&lt;budget&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<path") != 2 {
+		t.Errorf("want 2 paths, got %d", strings.Count(svg, "<path"))
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	svg := LineChart{Title: "empty"}.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "empty") {
+		t.Error("title missing")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{
+		Title:      "Utilization",
+		YLabel:     "%",
+		Categories: []string{"AZ", "CO", "NC", "TN"},
+		Series: []BarSeries{
+			{Name: "Opt", Values: []float64{88, 87, 86, 84}},
+			{Name: "RR", Values: []float64{86, 85, 83, 80}},
+		},
+		Refs: []RefLine{{Name: "battery", Y: 81, Color: "#CC0000"}},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<rect"); got < 8+1 { // 8 bars + background
+		t.Errorf("bars missing: %d rects", got)
+	}
+	for _, want := range []string{"AZ", "TN", "battery"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	wellFormed(t, BarChart{Title: "no data"}.SVG())
+	wellFormed(t, BarChart{
+		Title:      "zero values",
+		Categories: []string{"a"},
+		Series:     []BarSeries{{Name: "s", Values: []float64{0}}},
+	}.SVG())
+	// More values than categories must not panic.
+	wellFormed(t, BarChart{
+		Title:      "extra",
+		Categories: []string{"a"},
+		Series:     []BarSeries{{Name: "s", Values: []float64{1, 2, 3}}},
+	}.SVG())
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 3 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatal("ticks not increasing")
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 100+1e-9 {
+		t.Errorf("ticks out of range: %v", ticks)
+	}
+	// Degenerate range.
+	if got := niceTicks(5, 5, 4); len(got) < 1 {
+		t.Error("degenerate range produced no ticks")
+	}
+}
+
+func TestNiceTicksProperty(t *testing.T) {
+	prop := func(aRaw, bRaw int16) bool {
+		lo, hi := float64(aRaw), float64(aRaw)+math.Abs(float64(bRaw))+0.5
+		ticks := niceTicks(lo, hi, 5)
+		if len(ticks) == 0 || len(ticks) > 14 {
+			return false
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				return false
+			}
+		}
+		return ticks[0] >= lo-1e-6 && ticks[len(ticks)-1] <= hi+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineChartRandomSVGWellFormed(t *testing.T) {
+	prop := func(ys []float64, name string) bool {
+		if len(ys) > 64 {
+			ys = ys[:64]
+		}
+		xs := make([]float64, len(ys))
+		for i := range xs {
+			xs[i] = float64(i)
+			if math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+				ys[i] = 0
+			}
+		}
+		svg := LineChart{Title: name, Series: []Series{{Name: name, X: xs, Y: ys}}}.SVG()
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			if _, err := dec.Token(); err != nil {
+				return err.Error() == "EOF"
+			}
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(100) != "100" {
+		t.Errorf("formatTick(100) = %q", formatTick(100))
+	}
+	if got := formatTick(0.125); got != "0.12" && got != "0.13" {
+		t.Errorf("formatTick(0.125) = %q", got)
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	h := Heatmap{
+		Title:    "Table 7",
+		RowNames: []string{"AZ Jan", "TN Oct"},
+		ColNames: []string{"H1", "L1"},
+		Values:   [][]float64{{0.106, 0.068}, {0.139, 0.077}},
+		Format:   "%.1f%%",
+	}
+	svg := h.SVG()
+	wellFormed(t, svg)
+	for _, want := range []string{"AZ Jan", "TN Oct", "H1", "L1"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("heatmap missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<rect") < 4 {
+		t.Error("cells missing")
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	wellFormed(t, Heatmap{Title: "empty"}.SVG())
+	wellFormed(t, Heatmap{
+		Title:    "constant",
+		RowNames: []string{"r"},
+		ColNames: []string{"c"},
+		Values:   [][]float64{{5}},
+	}.SVG())
+	// Ragged values must not panic.
+	wellFormed(t, Heatmap{
+		Title:    "ragged",
+		RowNames: []string{"a", "b"},
+		ColNames: []string{"x", "y"},
+		Values:   [][]float64{{1}},
+	}.SVG())
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	if heatColor(0) != "#ffffff" {
+		t.Errorf("t=0 color %s", heatColor(0))
+	}
+	if heatColor(-5) != heatColor(0) || heatColor(9) != heatColor(1) {
+		t.Error("clamping broken")
+	}
+}

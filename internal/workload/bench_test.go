@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"solarcore/internal/mcore"
+)
+
+func TestEPIClassBands(t *testing.T) {
+	// Table 5 classification: high ≥ 15 nJ, moderate in (8, 15), low ≤ 8.
+	cfg := mcore.DefaultConfig()
+	for _, b := range All {
+		epi := b.EPI(cfg)
+		switch b.Class {
+		case HighEPI:
+			if epi < 15 {
+				t.Errorf("%s: EPI %.1f nJ, want ≥ 15", b.Name, epi)
+			}
+		case ModerateEPI:
+			if epi < 8 || epi > 15 {
+				t.Errorf("%s: EPI %.1f nJ, want 8-15", b.Name, epi)
+			}
+		case LowEPI:
+			if epi > 8 {
+				t.Errorf("%s: EPI %.1f nJ, want ≤ 8", b.Name, epi)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("art")
+	if err != nil || b.Name != "art" || b.Class != HighEPI {
+		t.Errorf("ByName(art) = %+v, %v", b, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if HighEPI.String() != "High" || ModerateEPI.String() != "Moderate" || LowEPI.String() != "Low" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class should still stringify")
+	}
+}
+
+func TestDemandPositiveAndBounded(t *testing.T) {
+	// Property: demand stays positive and within the phase envelope for all
+	// benchmarks and times.
+	prop := func(bi uint8, minRaw uint16) bool {
+		b := All[int(bi)%len(All)]
+		in := NewInstance(b, int(bi)%8)
+		minute := float64(minRaw) / 40 // 0..~27h
+		ipc, ceff := in.Demand(minute)
+		if ipc <= 0 || ceff <= 0 {
+			return false
+		}
+		return ipc <= b.BaseIPC*(1+b.PhaseAmp)+1e-9 &&
+			ceff <= b.BaseCeffNF*(1+b.PhaseAmp)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemandVariesOverTime(t *testing.T) {
+	in := NewInstance(mustBench(t, "art"), 0)
+	_, c0 := in.Demand(0)
+	varies := false
+	for m := 1.0; m < 30; m++ {
+		if _, c := in.Demand(m); math.Abs(c-c0) > 0.05 {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Error("art demand should vary over a 30-minute window")
+	}
+}
+
+func TestPhaseOffsetsDesynchronizeCores(t *testing.T) {
+	// Two copies of the same benchmark on different cores must differ at
+	// some instant — this is what gives the TPR table an ordering even for
+	// homogeneous mixes.
+	a := NewInstance(mustBench(t, "art"), 0)
+	b := NewInstance(mustBench(t, "art"), 3)
+	differ := false
+	for m := 0.0; m < 30; m++ {
+		ia, _ := a.Demand(m)
+		ib, _ := b.Demand(m)
+		if math.Abs(ia-ib) > 0.01 {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Error("same benchmark on different cores should be phase-shifted")
+	}
+}
+
+func TestHighEPISwingsHarder(t *testing.T) {
+	// The source of H1's tracking ripples: art's power-relevant swing
+	// amplitude dwarfs mesa's.
+	swing := func(name string) float64 {
+		in := NewInstance(mustBench(t, name), 0)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for m := 0.0; m < 120; m += 0.5 {
+			_, c := in.Demand(m)
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		return (hi - lo) / ((hi + lo) / 2)
+	}
+	if sa, sm := swing("art"), swing("mesa"); sa < 2.5*sm {
+		t.Errorf("art swing %.3f not well above mesa swing %.3f", sa, sm)
+	}
+}
+
+func mustBench(t *testing.T, name string) Benchmark {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestClampFactor(t *testing.T) {
+	if clampFactor(-1) != 0.05 {
+		t.Error("negative factor should clamp")
+	}
+	if clampFactor(0.9) != 0.9 {
+		t.Error("valid factor should pass through")
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+
+	"solarcore/internal/mcore"
+)
+
+// Mix is one multi-programmed workload of Table 5: eight programs, one per
+// core.
+type Mix struct {
+	Name     string
+	Kind     string // the paper's homogeneity label
+	Programs []string
+}
+
+// Mixes lists the ten evaluated workloads in the paper's order (Table 5).
+var Mixes = []Mix{
+	{Name: "H1", Kind: "homogeneous", Programs: rep("art", 8)},
+	{Name: "H2", Kind: "less homogeneous", Programs: []string{"art", "art", "apsi", "apsi", "bzip", "bzip", "gzip", "gzip"}},
+	{Name: "M1", Kind: "homogeneous", Programs: rep("gcc", 8)},
+	{Name: "M2", Kind: "less homogeneous", Programs: []string{"gcc", "gcc", "mcf", "mcf", "gap", "gap", "vpr", "vpr"}},
+	{Name: "L1", Kind: "homogeneous", Programs: rep("mesa", 8)},
+	{Name: "L2", Kind: "less homogeneous", Programs: []string{"mesa", "mesa", "equake", "equake", "lucas", "lucas", "swim", "swim"}},
+	{Name: "HM1", Kind: "less heterogeneous", Programs: []string{"bzip", "bzip", "bzip", "bzip", "gcc", "gcc", "gcc", "gcc"}},
+	{Name: "HM2", Kind: "heterogeneous", Programs: []string{"bzip", "gzip", "art", "apsi", "gcc", "mcf", "gap", "vpr"}},
+	{Name: "ML1", Kind: "less heterogeneous", Programs: []string{"gcc", "gcc", "gcc", "gcc", "mesa", "mesa", "mesa", "mesa"}},
+	{Name: "ML2", Kind: "heterogeneous", Programs: []string{"gcc", "mcf", "gap", "vpr", "mesa", "equake", "lucas", "swim"}},
+}
+
+func rep(name string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = name
+	}
+	return out
+}
+
+// MixByName returns the Table 5 mix with the given name.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}
+
+// Instances resolves the mix into per-core benchmark instances.
+func (m Mix) Instances() ([]Instance, error) {
+	out := make([]Instance, len(m.Programs))
+	for i, name := range m.Programs {
+		b, err := ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("workload: mix %s: %w", m.Name, err)
+		}
+		out[i] = NewInstance(b, i)
+	}
+	return out, nil
+}
+
+// Apply assigns the mix's programs to the chip's cores. The chip must have
+// exactly as many cores as the mix has programs.
+func (m Mix) Apply(chip *mcore.Chip) error {
+	ins, err := m.Instances()
+	if err != nil {
+		return err
+	}
+	if chip.NumCores() != len(ins) {
+		return fmt.Errorf("workload: mix %s has %d programs, chip has %d cores", m.Name, len(ins), chip.NumCores())
+	}
+	for i, in := range ins {
+		if err := chip.SetActivity(i, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeanEPI returns the mix's average benchmark EPI (nJ) at the chip's top
+// operating point.
+func (m Mix) MeanEPI(cfg mcore.Config) float64 {
+	sum := 0.0
+	for _, name := range m.Programs {
+		b, err := ByName(name)
+		if err != nil {
+			continue
+		}
+		sum += b.EPI(cfg)
+	}
+	return sum / float64(len(m.Programs))
+}

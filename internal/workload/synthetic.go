@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SyntheticMix draws a deterministic random 8-program mix with the given
+// number of programs from each EPI class — generating workloads beyond the
+// ten of Table 5 for robustness studies. high+moderate+low must sum to the
+// chip's core count.
+func SyntheticMix(name string, high, moderate, low int, seed int64) (Mix, error) {
+	if high < 0 || moderate < 0 || low < 0 || high+moderate+low == 0 {
+		return Mix{}, fmt.Errorf("workload: invalid class counts %d/%d/%d", high, moderate, low)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := map[Class][]string{}
+	for _, b := range All {
+		byClass[b.Class] = append(byClass[b.Class], b.Name)
+	}
+	pick := func(class Class, n int) []string {
+		pool := byClass[class]
+		out := make([]string, n)
+		for i := range out {
+			out[i] = pool[rng.Intn(len(pool))]
+		}
+		return out
+	}
+	mix := Mix{Name: name, Kind: "synthetic"}
+	mix.Programs = append(mix.Programs, pick(HighEPI, high)...)
+	mix.Programs = append(mix.Programs, pick(ModerateEPI, moderate)...)
+	mix.Programs = append(mix.Programs, pick(LowEPI, low)...)
+	return mix, nil
+}

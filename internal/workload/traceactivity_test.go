@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceActivityValidation(t *testing.T) {
+	if _, err := NewTraceActivity(0, []float64{1}, []float64{1}); err == nil {
+		t.Error("zero step should error")
+	}
+	if _, err := NewTraceActivity(1, nil, nil); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := NewTraceActivity(1, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewTraceActivity(1, []float64{1, -1}, []float64{1, 1}); err == nil {
+		t.Error("non-positive sample should error")
+	}
+}
+
+func TestTraceActivityInterpolatesAndWraps(t *testing.T) {
+	a, err := NewTraceActivity(10, []float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc, ceff := a.Demand(0)
+	if ipc != 1 || ceff != 2 {
+		t.Errorf("Demand(0) = %v, %v", ipc, ceff)
+	}
+	ipc, _ = a.Demand(5) // halfway between samples 0 and 1
+	if math.Abs(ipc-1.5) > 1e-9 {
+		t.Errorf("Demand(5) ipc = %v, want 1.5", ipc)
+	}
+	// Wraps: minute 25 is halfway between samples 2 and 0.
+	ipc, _ = a.Demand(25)
+	if math.Abs(ipc-2) > 1e-9 {
+		t.Errorf("Demand(25) ipc = %v, want 2 (wrap)", ipc)
+	}
+	// Cyclic: one full period later, same value.
+	a1, _ := a.Demand(7)
+	a2, _ := a.Demand(7 + 30)
+	if math.Abs(a1-a2) > 1e-9 {
+		t.Errorf("not periodic: %v vs %v", a1, a2)
+	}
+}
+
+func TestTraceActivitySingleSample(t *testing.T) {
+	a, err := NewTraceActivity(1, []float64{0.7}, []float64{3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []float64{0, 5, 123.4} {
+		ipc, ceff := a.Demand(m)
+		if ipc != 0.7 || ceff != 3.0 {
+			t.Fatalf("Demand(%v) = %v, %v", m, ipc, ceff)
+		}
+	}
+}
+
+func TestReadActivityCSV(t *testing.T) {
+	data := "minute,ipc,ceff_nf\n0,0.8,3.1\n1,0.9,3.3\n2,1.0,3.0\n"
+	a, err := ReadActivityCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StepMin != 1 || len(a.IPC) != 3 {
+		t.Errorf("parsed %+v", a)
+	}
+	ipc, ceff := a.Demand(1)
+	if ipc != 0.9 || ceff != 3.3 {
+		t.Errorf("Demand(1) = %v, %v", ipc, ceff)
+	}
+}
+
+func TestReadActivityCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"minute,ipc,ceff_nf\n",
+		"minute,ipc,ceff_nf\n0,0.8\n",
+		"minute,ipc,ceff_nf\n0,x,3\n",
+		"minute,ipc,ceff_nf\n0,1,3\n5,1,3\n7,1,3\n",
+		"minute,ipc,ceff_nf\n0,1,3\n1,0,3\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadActivityCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestActivityCSVRoundTrip(t *testing.T) {
+	orig, err := NewTraceActivity(2.5, []float64{0.8, 1.1, 0.9}, []float64{3.1, 2.8, 3.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := orig.WriteActivityCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadActivityCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.StepMin != orig.StepMin || len(back.IPC) != len(orig.IPC) {
+		t.Fatalf("round trip changed shape: %+v", back)
+	}
+	for i := range orig.IPC {
+		if math.Abs(back.IPC[i]-orig.IPC[i]) > 1e-6 || math.Abs(back.CeffNF[i]-orig.CeffNF[i]) > 1e-6 {
+			t.Fatalf("sample %d changed", i)
+		}
+	}
+}
+
+func FuzzReadActivityCSV(f *testing.F) {
+	f.Add("minute,ipc,ceff_nf\n0,0.8,3.1\n1,0.9,3.3\n")
+	f.Add("0,0.8,3.1\n")
+	f.Add("")
+	f.Add("minute,ipc,ceff_nf\n0,-1,3\n")
+	f.Add("minute,ipc,ceff_nf\n0,1,3\n5,1,3\n6,1,3\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		a, err := ReadActivityCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted profiles must be safe to evaluate anywhere.
+		for _, m := range []float64{-5, 0, 3.7, 1e4} {
+			ipc, ceff := a.Demand(m)
+			if ipc <= 0 || ceff <= 0 || math.IsNaN(ipc) || math.IsNaN(ceff) {
+				t.Fatalf("accepted profile produced bad demand %v, %v at %v", ipc, ceff, m)
+			}
+		}
+	})
+}
