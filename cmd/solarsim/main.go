@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strconv"
 	"strings"
 
@@ -155,10 +154,9 @@ func main() {
 
 	if *series {
 		fmt.Println()
-		w := os.Stdout
-		fmt.Fprintln(w, "minute,budget_w,actual_w,on_solar")
+		fmt.Println("minute,budget_w,actual_w,on_solar")
 		for _, p := range res.Series {
-			fmt.Fprintf(w, "%.1f,%.2f,%.2f,%t\n", p.Minute, p.BudgetW, p.ActualW, p.OnSolar)
+			fmt.Printf("%.1f,%.2f,%.2f,%t\n", p.Minute, p.BudgetW, p.ActualW, p.OnSolar)
 		}
 	}
 }

@@ -1,0 +1,81 @@
+// Command solarvet runs the repository's domain-aware static-analysis
+// suite (internal/lint) over the whole module and reports findings as
+//
+//	file:line:col: [analyzer] message
+//
+// Exit status is 0 on a clean tree, 1 when findings (or stale allowlist
+// entries) remain, and 2 on a driver failure. The same registry runs
+// in-process from lint_test.go, so `go test ./...` enforces the gate;
+// this command is the human-facing front end.
+//
+// Usage:
+//
+//	solarvet [-json] [-allow file] [-rules] [packages]
+//
+// The package arguments are accepted for familiarity (`solarvet ./...`)
+// but the driver always loads every package in the module. The allowlist
+// defaults to .solarvet.allow at the module root; see DESIGN.md for the
+// entry format.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"solarcore/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	allow := flag.String("allow", "", "allowlist file (default: <module root>/.solarvet.allow if present)")
+	rules := flag.Bool("rules", false, "print the analyzer registry and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, a := range lint.Registry() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	res, err := lint.Run(lint.Options{Allow: *allow})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solarvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	bad := false
+	for _, err := range res.LoadErrors {
+		bad = true
+		fmt.Fprintf(os.Stderr, "solarvet: load: %v\n", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Findings); err != nil {
+			fmt.Fprintf(os.Stderr, "solarvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
+	}
+	if len(res.Findings) > 0 {
+		bad = true
+	}
+	for _, e := range res.UnusedAllows {
+		bad = true
+		fmt.Fprintf(os.Stderr, "solarvet: stale allowlist entry %s:%d (%s %s) — matched nothing, remove it\n",
+			res.AllowSource, e.Line, e.Analyzer, e.Path)
+	}
+	if res.Suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "solarvet: %d finding(s) suppressed by allowlist\n", res.Suppressed)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

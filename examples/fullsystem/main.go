@@ -32,7 +32,7 @@ func buildSystem() (*fullsys.System, *mcore.Chip, error) {
 	if err := mix.Apply(chip); err != nil {
 		return nil, nil, err
 	}
-	chip.SetAllLevels(mcore.Gated)
+	_ = chip.SetAllLevels(mcore.Gated) // fresh chip: Gated is always a valid level
 
 	sys := &fullsys.System{}
 	for i := 0; i < chip.NumCores(); i++ {

@@ -108,7 +108,7 @@ func New(cfg Config) (*Cluster, error) {
 		if err := mix.Apply(chip); err != nil {
 			return nil, fmt.Errorf("dc: node %d: %w", i, err)
 		}
-		chip.SetAllLevels(mcore.Gated)
+		_ = chip.SetAllLevels(mcore.Gated) // fresh chip: Gated is always a valid level
 		c.Nodes = append(c.Nodes, &Node{
 			Name:      fmt.Sprintf("node%02d", i),
 			Chip:      chip,

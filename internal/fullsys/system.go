@@ -46,7 +46,7 @@ func probe(d Device, minute float64, dir int) (dU, dP float64, ok bool) {
 	}
 	dU = d.Utility(minute) - u0
 	dP = d.Power(minute) - p0
-	d.SetState(s)
+	_ = d.SetState(s) // restoring the state we just read
 	return dU, dP, true
 }
 

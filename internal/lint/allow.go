@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// AllowEntry grandfathers one class of finding. Findings match when the
+// analyzer name is equal (or the entry says "*"), the finding's
+// root-relative file path equals or ends with Path, and the message
+// contains Substring (empty matches any message).
+type AllowEntry struct {
+	Analyzer  string
+	Path      string
+	Substring string
+	Line      int    // line number in the allowlist file, for diagnostics
+	Reason    string // trailing comment, kept for reporting
+	used      bool
+}
+
+// Allowlist is a parsed .solarvet.allow file.
+type Allowlist struct {
+	Source  string
+	Entries []*AllowEntry
+}
+
+// ParseAllowlistFile reads an allowlist. Each non-blank, non-comment
+// line has the form
+//
+//	analyzer path-suffix [message substring...]  # reason
+//
+// The reason comment is strongly encouraged: the allowlist is for
+// *justified* exceptions, and the justification belongs next to the
+// entry.
+func ParseAllowlistFile(path string) (*Allowlist, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseAllowlist(path, string(data))
+}
+
+func parseAllowlist(source, data string) (*Allowlist, error) {
+	al := &Allowlist{Source: source}
+	for i, raw := range strings.Split(data, "\n") {
+		line := raw
+		var reason string
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			reason = strings.TrimSpace(line[idx+1:])
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: allowlist entry needs at least `analyzer path`", source, i+1)
+		}
+		if fields[0] != "*" && ByName(fields[0]) == nil {
+			return nil, fmt.Errorf("%s:%d: unknown analyzer %q", source, i+1, fields[0])
+		}
+		al.Entries = append(al.Entries, &AllowEntry{
+			Analyzer:  fields[0],
+			Path:      fields[1],
+			Substring: strings.Join(fields[2:], " "),
+			Line:      i + 1,
+			Reason:    reason,
+		})
+	}
+	return al, nil
+}
+
+// Allowed reports whether f is grandfathered, marking the matching entry
+// as used.
+func (al *Allowlist) Allowed(f Finding) bool {
+	if al == nil {
+		return false
+	}
+	for _, e := range al.Entries {
+		if e.Analyzer != "*" && e.Analyzer != f.Analyzer {
+			continue
+		}
+		if f.File != e.Path && !strings.HasSuffix(f.File, "/"+e.Path) && f.File != strings.TrimPrefix(e.Path, "./") {
+			continue
+		}
+		if e.Substring != "" && !strings.Contains(f.Message, e.Substring) {
+			continue
+		}
+		e.used = true
+		return true
+	}
+	return false
+}
+
+// Unused returns the entries that matched nothing — stale grandfathering
+// the ratchet should shed.
+func (al *Allowlist) Unused() []*AllowEntry {
+	if al == nil {
+		return nil
+	}
+	var out []*AllowEntry
+	for _, e := range al.Entries {
+		if !e.used {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs every analyzer against its testdata tree. Each
+// directory under testdata/ is one fixture package named after the
+// analyzer it exercises (an optional _variant suffix distinguishes
+// scenarios, e.g. seededrand_cmd). Expectations are `// want "regexp"`
+// comments on the offending line; a fixture with no want comments pins
+// that the analyzer stays silent (accepted idiom or out-of-scope
+// package). A `//solarvet:pkgpath <path>` directive inside the fixture
+// overrides the package import path, so path-scoped rules can be
+// exercised from testdata.
+func TestFixtures(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	covered := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		anName, _, _ := strings.Cut(name, "_")
+		an := ByName(anName)
+		if an == nil {
+			t.Errorf("testdata/%s: no analyzer named %q", name, anName)
+			continue
+		}
+		covered[anName] = true
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", name)
+			files, err := ParseDir(fset, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkgPath := fixturePkgPath(files, "solarcore/internal/lint/testdata/"+name)
+			tpkg, info, errs := TypeCheck(fset, pkgPath, files, imp)
+			for _, e := range errs {
+				t.Errorf("fixture does not type-check: %v", e)
+			}
+			if t.Failed() {
+				return
+			}
+			pkg := &Package{Path: pkgPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+			checkWants(t, fset, files, RunAnalyzers([]*Analyzer{an}, pkg, fset))
+		})
+	}
+	for _, an := range Registry() {
+		if !covered[an.Name] {
+			t.Errorf("analyzer %s has no fixture under testdata/", an.Name)
+		}
+	}
+}
+
+// fixturePkgPath returns the //solarvet:pkgpath override, or fallback.
+func fixturePkgPath(files []*ast.File, fallback string) string {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//solarvet:pkgpath "); ok {
+					return strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return fallback
+}
+
+// wantRE extracts the quoted regexps of one `// want "..." "..."` marker.
+var wantRE = regexp.MustCompile(`//.*\bwant\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkWants reconciles findings against the fixture's want comments:
+// every finding must match a want on its line, and every want must be
+// hit by at least one finding.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantQuoted.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q[1], err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: q[1]})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		found := false
+		for _, w := range wants {
+			if w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q matched no finding", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// TestAllowlistParsing pins the allowlist grammar and matching rules.
+func TestAllowlistParsing(t *testing.T) {
+	al, err := parseAllowlist("test.allow", `
+# comment
+floateq internal/power/converter.go            # exact clamp result
+rawxml  internal/viz/heatmap.go non-constant format  # escaped downstream
+* internal/exp/lab.go
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(al.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(al.Entries))
+	}
+	if al.Entries[0].Reason != "exact clamp result" {
+		t.Errorf("reason = %q", al.Entries[0].Reason)
+	}
+	cases := []struct {
+		f    Finding
+		want bool
+	}{
+		{Finding{File: "internal/power/converter.go", Analyzer: "floateq", Message: "floating-point != comparison"}, true},
+		{Finding{File: "internal/power/converter.go", Analyzer: "errcheck", Message: "unchecked"}, false},
+		{Finding{File: "internal/viz/heatmap.go", Analyzer: "rawxml", Message: "non-constant format string passed"}, true},
+		{Finding{File: "internal/viz/heatmap.go", Analyzer: "rawxml", Message: "wrap it with esc"}, false},
+		{Finding{File: "internal/exp/lab.go", Analyzer: "seededrand", Message: "anything"}, true},
+		{Finding{File: "internal/exp/other.go", Analyzer: "seededrand", Message: "anything"}, false},
+	}
+	for _, c := range cases {
+		if got := al.Allowed(c.f); got != c.want {
+			t.Errorf("Allowed(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+	if u := al.Unused(); len(u) != 0 {
+		t.Errorf("all entries were exercised, Unused = %v", u)
+	}
+
+	if _, err := parseAllowlist("bad.allow", "nosuchanalyzer somefile.go\n"); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+	if _, err := parseAllowlist("bad.allow", "floateq\n"); err == nil {
+		t.Error("missing path accepted")
+	}
+}
+
+// TestUnitTokenizer pins the unit-comment matcher on tricky prose.
+func TestUnitTokenizer(t *testing.T) {
+	yes := []string{
+		"short-circuit current at STC, A",
+		"Isc temperature coefficient, A/K",
+		"clear-sky peak, W/m²",
+		"lumped series resistance Rs, Ω",
+		"the thermal time constant in minutes",
+		"relative band (default 2 %)",
+		"junction-to-ambient thermal resistance (°C/W)",
+		"scaled by an independent uniform factor",
+		"MPP voltage, V",
+		"bridging store in Wh",
+		"semiconductor bandgap Eg, eV",
+	}
+	no := []string{
+		"",
+		"A multiplier applied to the result",   // article A, not ampere
+		"the throttle trip point",              // no unit at all
+		"keeps the Window open",                // W inside a word
+		"see Section 4.3 of the paper for why", // prose only
+	}
+	for _, s := range yes {
+		if !commentNamesUnit(s) {
+			t.Errorf("commentNamesUnit(%q) = false, want true", s)
+		}
+	}
+	for _, s := range no {
+		if commentNamesUnit(s) {
+			t.Errorf("commentNamesUnit(%q) = true, want false", s)
+		}
+	}
+}
+
+// TestFindingString pins the report format the gate and CLI print.
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "internal/pv/module.go", Line: 7, Col: 3, Analyzer: "floateq", Message: "msg"}
+	if got, want := f.String(), "internal/pv/module.go:7:3: [floateq] msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	_ = fmt.Sprintf("%s", f) // Stringer is what the CLI relies on
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the import path ("solarcore/internal/pv").
+	Path string
+	// Dir is the absolute source directory.
+	Dir string
+	// Files are the non-test sources, sorted by file name.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-check errors; analyzers still run on
+	// the partial information, but the driver surfaces them.
+	TypeErrors []error
+}
+
+// Module is the loaded module: every package, type-checked from source.
+type Module struct {
+	Root string // absolute module root (directory of go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	// Pkgs is sorted by import path.
+	Pkgs []*Package
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// LoadModule parses and type-checks every non-test package under root.
+// Standard-library imports are type-checked from GOROOT source (the
+// module has no external dependencies, so stdlib + intra-module imports
+// cover everything); testdata, vendor and hidden directories are skipped.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &moduleLoader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		byDir:   map[string]*Package{},
+	}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	m := &Module{Root: root, Path: modPath, Fset: fset}
+	for _, dir := range dirs {
+		pkg, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleLoader type-checks module packages on demand and memoizes them,
+// acting as the types.Importer for intra-module imports while delegating
+// the standard library to the GOROOT source importer.
+type moduleLoader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	std     types.Importer
+	byDir   map[string]*Package
+}
+
+// Import implements types.Importer.
+func (l *moduleLoader) Import(path string) (*types.Package, error) {
+	if !hasPathPrefix(path, l.modPath) {
+		return l.std.Import(path)
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")))
+	pkg, err := l.loadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// importPathFor maps an absolute module directory to its import path.
+func (l *moduleLoader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// loadDir parses and type-checks the package in dir (memoized).
+func (l *moduleLoader) loadDir(dir string) (*Package, error) {
+	if pkg, ok := l.byDir[dir]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s", dir)
+		}
+		return pkg, nil
+	}
+	l.byDir[dir] = nil // cycle guard while loading
+
+	files, err := ParseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: l.importPathFor(dir), Dir: dir, Files: files}
+	pkg.Types, pkg.Info, pkg.TypeErrors = TypeCheck(l.fset, pkg.Path, files, l)
+	l.byDir[dir] = pkg
+	return pkg, nil
+}
+
+// ParseDir parses every non-test .go file in dir with comments attached,
+// sorted by file name.
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// TypeCheck runs go/types over one package, collecting soft errors
+// instead of failing, so analyzers can work with partial information.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, []error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var softErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil && len(softErrs) == 0 {
+		softErrs = append(softErrs, err)
+	}
+	return tpkg, info, softErrs
+}

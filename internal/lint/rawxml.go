@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerRawXML keeps every dynamic string in internal/viz behind the
+// escape helper.
+//
+// The viz package emits SVG by string building; one chart title with an
+// unescaped `<` (or an XML-invalid control rune) corrupts the whole
+// report. The package's contract is that all dynamic text flows through
+// its escape helper `esc`, which both XML-escapes and strips runes
+// outside the XML 1.0 character range. This rule enforces the contract:
+//
+//   - fmt.Sprint/Sprintf/Fprint/Fprintf format strings must be compile-
+//     time constants (a dynamic format is unauditable);
+//   - every argument bound to a %s/%q/%v verb whose static type is a
+//     string must be a constant or a direct esc(...) call;
+//   - string concatenation with + may only combine constants and
+//     esc(...) results.
+//
+// The body of esc itself is exempt (it is the trust boundary).
+var AnalyzerRawXML = &Analyzer{
+	Name: "rawxml",
+	Doc: "in internal/viz, dynamic strings reaching SVG output must pass through " +
+		"the esc helper; format strings must be constants",
+	Applies: func(path string) bool { return path == "solarcore/internal/viz" },
+	Run:     runRawXML,
+}
+
+// fmtStringFuncs maps fmt formatting functions to the index of their
+// format/first-value argument.
+var fmtStringFuncs = map[string]int{
+	"Sprintf": 0, "Fprintf": 1, "Sprint": 0, "Fprint": 1, "Sprintln": 0, "Fprintln": 1,
+}
+
+func runRawXML(p *Pass) {
+	escObj := escHelper(p.Pkg)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if escObj != nil && fd.Name != nil && p.Info.Defs[fd.Name] == escObj {
+				continue // the escape helper is the trust boundary
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.CallExpr:
+					checkFmtCall(p, escObj, e)
+				case *ast.BinaryExpr:
+					checkConcat(p, escObj, e)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// escHelper finds the package's escape helper (esc or Esc).
+func escHelper(pkg *types.Package) types.Object {
+	if pkg == nil {
+		return nil
+	}
+	for _, name := range []string{"esc", "Esc"} {
+		if obj := pkg.Scope().Lookup(name); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isTrusted reports whether e needs no escaping: a compile-time constant
+// or a direct esc(...) call.
+func isTrusted(p *Pass, escObj types.Object, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || escObj == nil {
+		return false
+	}
+	fun := ast.Unparen(call.Fun)
+	id, ok := fun.(*ast.Ident)
+	return ok && p.Info.Uses[id] == escObj
+}
+
+func checkFmtCall(p *Pass, escObj types.Object, call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	fmtIdx, ok := fmtStringFuncs[fn.Name()]
+	if !ok || len(call.Args) <= fmtIdx {
+		return
+	}
+	isF := fn.Name() == "Sprintf" || fn.Name() == "Fprintf"
+	if isF {
+		fmtArg := call.Args[fmtIdx]
+		tv, ok := p.Info.Types[fmtArg]
+		if !ok || tv.Value == nil {
+			p.Reportf(fmtArg.Pos(), "non-constant format string passed to fmt.%s; SVG templates must be literals", fn.Name())
+			return
+		}
+		// Map %s/%q/%v verbs onto their arguments.
+		format := constantString(tv)
+		args := call.Args[fmtIdx+1:]
+		for i, verb := range stringVerbs(format) {
+			if verb.argIndex >= len(args) {
+				break
+			}
+			arg := args[verb.argIndex]
+			if !isString(p.Info.TypeOf(arg)) {
+				continue
+			}
+			if !isTrusted(p, escObj, arg) {
+				p.Reportf(arg.Pos(), "unescaped string bound to %%%c verb %d of fmt.%s; wrap it with esc(...)",
+					verb.verb, i+1, fn.Name())
+			}
+		}
+		return
+	}
+	// Sprint/Fprint/…ln: every string argument is interpolated verbatim.
+	for _, arg := range call.Args[fmtIdx:] {
+		if isString(p.Info.TypeOf(arg)) && !isTrusted(p, escObj, arg) {
+			p.Reportf(arg.Pos(), "unescaped string passed to fmt.%s; wrap it with esc(...)", fn.Name())
+		}
+	}
+}
+
+// checkConcat flags string + where an operand is neither constant, an
+// esc(...) call, nor a nested concatenation (whose own operands are
+// checked at their own nodes).
+func checkConcat(p *Pass, escObj types.Object, be *ast.BinaryExpr) {
+	if be.Op != token.ADD || !isString(p.Info.TypeOf(be)) {
+		return
+	}
+	if tv, ok := p.Info.Types[be]; ok && tv.Value != nil {
+		return // whole expression folds to a constant
+	}
+	for _, operand := range []ast.Expr{be.X, be.Y} {
+		if inner, ok := ast.Unparen(operand).(*ast.BinaryExpr); ok && inner.Op == token.ADD {
+			continue
+		}
+		if !isTrusted(p, escObj, operand) {
+			p.Reportf(operand.Pos(), "unescaped string in SVG concatenation; wrap it with esc(...)")
+		}
+	}
+}
+
+// constantString extracts the string value of a constant TypeAndValue.
+func constantString(tv types.TypeAndValue) string {
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+type stringVerb struct {
+	verb     byte
+	argIndex int
+}
+
+// stringVerbs scans a Printf format and returns the verbs that
+// interpolate their argument as text (%s, %q, %v), with the positional
+// index of the argument each consumes. Width/precision stars and
+// explicit argument indexes are handled conservatively: on `%[n]` the
+// scan stops (none of the repo's formats use them).
+func stringVerbs(format string) []stringVerb {
+	var out []stringVerb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return out // explicit argument index: bail conservatively
+			}
+			if c == '*' {
+				arg++
+			}
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				break
+			}
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case 's', 'q', 'v':
+			out = append(out, stringVerb{verb: format[i], argIndex: arg})
+		}
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AllowlistName is the checked-in allowlist file at the module root.
+const AllowlistName = ".solarvet.allow"
+
+// Options configures one solarvet run.
+type Options struct {
+	// Root is the module root; empty means "find go.mod above the
+	// working directory".
+	Root string
+	// Allow is the allowlist path; empty means Root/.solarvet.allow when
+	// that file exists, otherwise no allowlist.
+	Allow string
+	// Analyzers defaults to Registry().
+	Analyzers []*Analyzer
+}
+
+// Result is one solarvet run over the module.
+type Result struct {
+	Module *Module
+	// Findings survive the allowlist, sorted by position; file paths are
+	// root-relative slash paths.
+	Findings []Finding
+	// Suppressed counts allowlisted findings.
+	Suppressed int
+	// UnusedAllows are stale allowlist entries (they matched nothing).
+	UnusedAllows []*AllowEntry
+	// AllowSource is the allowlist file the run used ("" if none).
+	AllowSource string
+	// LoadErrors are type-check problems; analyzers still ran on partial
+	// information, but a clean gate requires none.
+	LoadErrors []error
+}
+
+// Run loads the module, applies the analyzer registry, and filters
+// through the allowlist.
+func Run(opts Options) (*Result, error) {
+	root := opts.Root
+	if root == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		root, err = FindModuleRoot(wd)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+
+	var allow *Allowlist
+	allowPath := opts.Allow
+	if allowPath == "" {
+		p := filepath.Join(mod.Root, AllowlistName)
+		if _, err := os.Stat(p); err == nil {
+			allowPath = p
+		}
+	}
+	if allowPath != "" {
+		allow, err = ParseAllowlistFile(allowPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = Registry()
+	}
+
+	res := &Result{Module: mod, AllowSource: allowPath}
+	for _, pkg := range mod.Pkgs {
+		for _, e := range pkg.TypeErrors {
+			res.LoadErrors = append(res.LoadErrors, fmt.Errorf("%s: %w", pkg.Path, e))
+		}
+		for _, f := range RunAnalyzers(analyzers, pkg, mod.Fset) {
+			f.File = relPath(mod.Root, f.File)
+			if allow.Allowed(f) {
+				res.Suppressed++
+				continue
+			}
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	SortFindings(res.Findings)
+	res.UnusedAllows = allow.Unused()
+	return res, nil
+}
+
+// relPath renders path relative to root with forward slashes.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerSeededRand enforces explicitly seeded randomness and virtual
+// time inside internal/ simulation packages.
+//
+// EXPERIMENTS.md promises bit-reproducible runs; a single draw from the
+// process-global math/rand source, or a wall-clock read, breaks every
+// downstream trace comparison. The approved idiom (see
+// internal/mppt/controller.go and internal/atmos/gen.go) threads an
+// explicit seed parameter into rand.New(rand.NewSource(seed)).
+//
+// Flagged inside solarcore/internal/...:
+//   - any math/rand package-level function drawing from the global
+//     source (rand.Intn, rand.Float64, rand.Shuffle, rand.Seed, ...);
+//     the constructors rand.New / rand.NewSource / rand.NewZipf are the
+//     approved idiom and stay legal;
+//   - any use of time.Now — simulations run on virtual time (the
+//     `minute` parameter), and seeding from the wall clock
+//     (rand.NewSource(time.Now().UnixNano())) is exactly the
+//     nondeterminism this rule exists to stop.
+//
+// cmd/ front ends may read the wall clock for progress reporting.
+var AnalyzerSeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "in internal/ packages, forbid the global math/rand source and time.Now; " +
+		"all randomness must flow through an explicit seed parameter",
+	Applies: func(path string) bool { return hasPathPrefix(path, "solarcore/internal") },
+	Run:     runSeededRand,
+}
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded generator rather than drawing from the global source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runSeededRand(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					p.Reportf(sel.Pos(),
+						"%s.%s draws from the process-global random source; thread an explicitly seeded *rand.Rand instead",
+						fn.Pkg().Name(), fn.Name())
+				}
+			case "time":
+				if fn.Name() == "Now" {
+					p.Reportf(sel.Pos(),
+						"time.Now in a simulation package breaks reproducibility; use virtual time (the minute parameter) or an explicit seed")
+				}
+			}
+			return true
+		})
+	}
+}

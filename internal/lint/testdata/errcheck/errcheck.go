@@ -1,0 +1,34 @@
+// Fixture for errcheck: bare statements that drop an error are flagged;
+// explicit `_ =` discards and never-fail writers are accepted.
+package errcheckfix
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func report(w io.Writer) string {
+	mayFail()       // want "unchecked error returned by errcheckfix.mayFail"
+	go mayFail()    // want "unchecked error"
+	defer mayFail() // want "unchecked error"
+	_ = mayFail()   // explicit discard: accepted
+	if err := mayFail(); err != nil {
+		fmt.Println("handled:", err) // fmt.Println never fails: accepted
+	}
+	os.Remove("scratch")                      // want "unchecked error returned by os.Remove"
+	fmt.Fprintln(w, "to an arbitrary writer") // want "unchecked error returned by fmt.Fprintln"
+	var sb strings.Builder
+	sb.WriteString("never fails")         // strings.Builder: accepted
+	fmt.Fprintf(&sb, "%d", 7)             // Fprintf to a Builder: accepted
+	fmt.Fprintln(os.Stderr, "diagnostic") // os.Stderr: accepted
+	h := fnv.New32a()
+	h.Write([]byte("hash writes never fail")) // hash.Hash32: accepted
+	_ = h.Sum32()
+	return sb.String()
+}

@@ -1,0 +1,38 @@
+// Package floateq exercises the floateq analyzer: raw float equality is
+// flagged; constant-zero sentinels and integer comparisons are accepted.
+package floateq
+
+type sample struct {
+	V float64
+	N int
+}
+
+func compare(a, b float64, s sample) int {
+	hits := 0
+	if a == b { // want "floating-point == comparison"
+		hits++
+	}
+	if a != b { // want "floating-point != comparison"
+		hits++
+	}
+	if a != a { // want "floating-point != comparison"
+		hits++ // NaN probe: math.IsNaN is the readable spelling
+	}
+	if s.V == 1.5 { // want "floating-point == comparison"
+		hits++
+	}
+	f := float32(a)
+	if float64(f) == b { // want "floating-point == comparison"
+		hits++
+	}
+	if a == 0 { // constant exact zero: accepted sentinel idiom
+		hits++
+	}
+	if 0.0 != b { // zero on either side, typed or untyped: accepted
+		hits++
+	}
+	if s.N == 3 { // integers compare exactly: accepted
+		hits++
+	}
+	return hits
+}

@@ -1,0 +1,10 @@
+// Raw comparisons are legal inside internal/mathx — the package that
+// implements the tolerance helpers needs exact IEEE semantics for its
+// bracketing guards.
+//
+//solarvet:pkgpath solarcore/internal/mathx
+package mathxfix
+
+func hitsEndpointExactly(lo, hi float64) bool {
+	return lo == hi // exempt: floateq does not apply to internal/mathx
+}

@@ -1,0 +1,33 @@
+// Fixture for rawxml: dynamic strings reaching SVG text must pass
+// through esc; format strings must be compile-time constants.
+//
+//solarvet:pkgpath solarcore/internal/viz
+package vizfix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// esc is this fixture's stand-in for the real escape helper; its body is
+// the trust boundary and is exempt from the rule.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return "" + r.Replace(s) // inside esc: no finding despite the raw concat
+}
+
+func render(title, userFormat string, watts float64) string {
+	good := fmt.Sprintf("<text>%s</text>", esc(title))                  // esc-wrapped: accepted
+	bad := fmt.Sprintf("<text>%s</text>", title)                        // want "wrap it with esc"
+	dyn := fmt.Sprintf(userFormat, watts)                               // want "non-constant format string"
+	lit := fmt.Sprintf("<rect id=%q/>", "bg")                           // constant %q argument: accepted
+	wide := fmt.Sprintf("<rect width=\"%.1f\"/>", watts)                // float verb: accepted
+	joinedGood := "<g>" + esc(title) + "</g>"                           // constants + esc: accepted
+	joinedBad := "<g>" + title + "</g>"                                 // want "unescaped string in SVG concatenation"
+	sprinted := fmt.Sprint("<svg>", title, "</svg>")                    // want "unescaped string passed to fmt.Sprint"
+	const header = "<svg " + `xmlns="http://www.w3.org/2000/svg"` + ">" // constant fold: accepted
+	var b strings.Builder
+	fmt.Fprintf(&b, "<title>%s</title>", title) // want "wrap it with esc"
+	parts := []string{good, bad, dyn, lit, wide, joinedGood, joinedBad, sprinted, header, b.String()}
+	return strings.Join(parts, "\n")
+}

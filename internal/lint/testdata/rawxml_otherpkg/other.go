@@ -1,0 +1,9 @@
+// rawxml is scoped to internal/viz; other packages may build strings
+// freely — they are not emitting SVG.
+package otherfix
+
+import "fmt"
+
+func describe(name string) string {
+	return fmt.Sprintf("converter %s", name) + " [" + name + "]" // out of scope: no findings
+}

@@ -1,0 +1,20 @@
+// Fixture for seededrand: global-source draws and wall-clock reads are
+// flagged inside internal/ packages; the explicit-seed idiom is accepted.
+//
+//solarvet:pkgpath solarcore/internal/simfix
+package simfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // approved: explicit seed threaded in
+	v := rng.Float64()
+	v += rand.Float64()                                     // want "draws from the process-global random source"
+	rand.Shuffle(2, func(i, j int) {})                      // want "draws from the process-global random source"
+	_ = time.Now()                                          // want "time.Now in a simulation package breaks reproducibility"
+	wall := rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now in a simulation package"
+	return v + wall.Float64()
+}

@@ -1,0 +1,14 @@
+// cmd/ front ends may read the wall clock and the global source for
+// operator-facing output; seededrand is scoped to internal/.
+//
+//solarvet:pkgpath solarcore/cmd/solartool
+package cmdfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func banner() (time.Time, float64) {
+	return time.Now(), rand.Float64() // out of scope: no findings
+}

@@ -1,0 +1,39 @@
+// Fixture for unitcomment: exported float quantities in physics packages
+// must carry a comment naming a unit or declaring them dimensionless.
+//
+//solarvet:pkgpath solarcore/internal/pv
+package pvfix
+
+// GRef is the STC plane-of-array irradiance, W/m².
+const GRef = 1000.0
+
+const TRef = 25.0 // want "exported float constant TRef"
+
+// Cell geometry at standard test conditions.
+const (
+	// AreaRef is the module aperture area, m².
+	AreaRef = 1.26
+	FillRef = 0.78 // want "exported float constant FillRef"
+)
+
+// Temperature coefficients, %/K. A group-level doc covers every member.
+const (
+	AlphaIsc = 0.065
+	BetaVoc  = -0.36
+)
+
+const internalScale = 3.2 // unexported: not checked
+
+// NSeries is the number of series-connected cells (not a float: not checked).
+const NSeries = 60
+
+// Module mirrors a datasheet entry.
+type Module struct {
+	// Voc is the open-circuit voltage, V.
+	Voc   float64
+	Isc   float64 // short-circuit current at STC, A
+	Temp  float64 // want "exported float field Temp"
+	Gain  float64 // dimensionless calibration factor
+	scale float64 // unexported: not checked
+	Cells int     // not a float: not checked
+}

@@ -1,0 +1,11 @@
+// Unit comments are only demanded of the physics packages; scheduler
+// weights carry no physical dimension.
+//
+//solarvet:pkgpath solarcore/internal/sched
+package schedfix
+
+// Weights tune the allocator.
+type Weights struct {
+	Alpha float64
+	Beta  float64
+}

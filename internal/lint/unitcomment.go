@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// AnalyzerUnitComment requires unit-bearing doc comments on the exported
+// float surface of the physics packages.
+//
+// The paper mixes W, W/m², V, A, °C and minutes in one simulation; the
+// single-diode calibration (Section 3) is only checkable against the
+// BP3180N datasheet if every exported float64 quantity says what it
+// measures. In packages pv, mppt, power, thermal and atmos, every
+// exported float struct field and exported float constant must carry a
+// doc or trailing comment naming a unit (W, V, A, °C, W/m², Hz, s, %, …)
+// or declaring the quantity dimensionless (ratio, fraction, factor).
+// A comment on the enclosing const/field group counts for its members.
+var AnalyzerUnitComment = &Analyzer{
+	Name: "unitcomment",
+	Doc: "exported float64 struct fields and constants in physics packages " +
+		"(pv, mppt, power, thermal, atmos) must have a comment naming a unit",
+	Applies: func(path string) bool { return physicsPackages[path] },
+	Run:     runUnitComment,
+}
+
+var physicsPackages = map[string]bool{
+	"solarcore/internal/pv":      true,
+	"solarcore/internal/mppt":    true,
+	"solarcore/internal/power":   true,
+	"solarcore/internal/thermal": true,
+	"solarcore/internal/atmos":   true,
+}
+
+// unitWords are the unambiguous unit tokens, matched against whole words
+// of the comment text (compound units like W/m², A/K, °C/W are split on
+// their separators first). Names for dimensionless quantities are
+// accepted so ratios and factors can be declared as such.
+var unitWords = map[string]bool{
+	// electrical / power
+	"kW": true, "mW": true, "MW": true, "mV": true, "kV": true, "mA": true,
+	"Wh": true, "kWh": true, "MWh": true, "kJ": true, "eV": true, "VA": true,
+	"Ω": true, "ohm": true, "ohms": true, "Hz": true, "kHz": true, "MHz": true, "GHz": true,
+	"volt": true, "volts": true, "watt": true, "watts": true, "amp": true,
+	"amps": true, "ampere": true, "amperes": true, "joule": true, "joules": true,
+	// thermal
+	"°C": true, "degC": true, "celsius": true, "kelvin": true,
+	// geometry / irradiance
+	"mm": true, "cm": true, "km": true, "m²": true, "m^2": true, "meters": true,
+	// time
+	"ms": true, "µs": true, "ns": true, "sec": true, "secs": true,
+	"second": true, "seconds": true, "min": true, "mins": true, "minute": true,
+	"minutes": true, "hr": true, "hour": true, "hours": true,
+	"day": true, "days": true, "year": true, "years": true,
+	// dimensionless declarations
+	"%": true, "percent": true, "ratio": true, "fraction": true, "factor": true,
+	"dimensionless": true, "unitless": true, "per-unit": true, "count": true,
+	"degrees": true, "deg": true, "°": true, "radians": true, "rad": true,
+}
+
+// singleLetterUnits are unit symbols that double as ordinary words ("A"
+// the article, "C" a label). Standing alone they only count in unit
+// position — after a comma, digit, slash or opening paren, or after
+// "in " — but inside a compound (A/K, °C/W) they always count.
+var singleLetterUnits = map[string]bool{
+	"W": true, "V": true, "A": true, "K": true, "C": true, "J": true,
+	"s": true, "m": true, "h": true,
+}
+
+// singleLetterUnitRE finds a single-letter unit in unit position.
+var singleLetterUnitRE = regexp.MustCompile(`(?:[0-9]|[,(/=]|\bin)\s*°?[WVAKCJsmh](?:[\s).,;/²]|$)`)
+
+func runUnitComment(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.GenDecl:
+				if d.Tok == token.CONST {
+					checkConstDecl(p, d)
+				}
+			case *ast.StructType:
+				checkStructFields(p, d)
+			}
+			return true
+		})
+	}
+}
+
+func checkConstDecl(p *Pass, d *ast.GenDecl) {
+	declHasUnit := hasUnitComment(d.Doc)
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		specHasUnit := declHasUnit || hasUnitComment(vs.Doc) || hasUnitComment(vs.Comment)
+		for _, name := range vs.Names {
+			if !name.IsExported() {
+				continue
+			}
+			obj := p.Info.Defs[name]
+			if obj == nil || !isFloat(obj.Type()) {
+				continue
+			}
+			if !specHasUnit {
+				p.Reportf(name.Pos(),
+					"exported float constant %s needs a comment naming its unit (W, V, A, °C, W/m², Hz, s, %%, …) or declaring it dimensionless",
+					name.Name)
+			}
+		}
+	}
+}
+
+func checkStructFields(p *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded
+		}
+		if !isFloat(p.Info.TypeOf(field.Type)) {
+			continue
+		}
+		fieldHasUnit := hasUnitComment(field.Doc) || hasUnitComment(field.Comment)
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if !fieldHasUnit {
+				p.Reportf(name.Pos(),
+					"exported float field %s needs a doc comment naming its unit (W, V, A, °C, W/m², Hz, s, %%, …) or declaring it dimensionless",
+					name.Name)
+			}
+		}
+	}
+}
+
+// hasUnitComment reports whether the comment group names a unit.
+func hasUnitComment(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	return commentNamesUnit(cg.Text())
+}
+
+// commentNamesUnit tokenizes text and looks for a unit word. Words are
+// maximal runs of unit-ish characters; compounds (W/m², %/K, °C/W) are
+// split on the separators and accepted if any part is a unit. Ambiguous
+// single letters are handled by singleLetterUnitRE.
+func commentNamesUnit(text string) bool {
+	isUnitChar := func(r rune) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return true
+		}
+		switch r {
+		case '°', '²', '%', 'µ', 'Ω', '/', '^', '-':
+			return true
+		}
+		return false
+	}
+	for _, word := range strings.FieldsFunc(text, func(r rune) bool { return !isUnitChar(r) }) {
+		if unitWords[word] {
+			return true
+		}
+		isCompound := strings.ContainsAny(word, "/^·")
+		for _, part := range strings.FieldsFunc(word, func(r rune) bool {
+			return r == '/' || r == '^' || r == '·'
+		}) {
+			trimmed := strings.TrimSuffix(part, "²")
+			if unitWords[part] || unitWords[trimmed] || unitWords[trimmed+"²"] {
+				return true
+			}
+			if isCompound && (singleLetterUnits[part] || singleLetterUnits[trimmed] ||
+				singleLetterUnits[strings.TrimPrefix(trimmed, "°")]) {
+				return true
+			}
+		}
+	}
+	return singleLetterUnitRE.MatchString(text)
+}

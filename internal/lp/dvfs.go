@@ -23,17 +23,17 @@ func DVFSRelaxation(chip *mcore.Chip, minute, budget float64) Problem {
 	n := cores * levels
 
 	save := chip.Levels()
-	defer chip.RestoreLevels(save)
+	defer func() { _ = chip.RestoreLevels(save) }() // restoring the levels we just read
 
 	c := make([]float64, n)
 	pw := make([]float64, n)
 	for i := 0; i < cores; i++ {
 		for l := 0; l < levels; l++ {
-			chip.SetLevel(i, l)
+			_ = chip.SetLevel(i, l) // i and l iterate the chip's own ranges
 			c[i*levels+l] = chip.CoreThroughput(i, minute)
 			pw[i*levels+l] = chip.CorePower(i, minute)
 		}
-		chip.SetLevel(i, save[i])
+		_ = chip.SetLevel(i, save[i])
 	}
 
 	a := make([][]float64, 0, cores+1)

@@ -17,11 +17,53 @@ var ErrNoBracket = errors.New("mathx: interval does not bracket a root")
 // budget before meeting its tolerance.
 var ErrNoConverge = errors.New("mathx: iteration did not converge")
 
+// ErrNonFinite is returned when a solver is given a NaN or infinite bound,
+// or when the objective evaluates to NaN at a probed point — continuing
+// would either loop on NaN comparisons or return garbage.
+var ErrNonFinite = errors.New("mathx: non-finite bound or objective value")
+
+// ApproxEq reports whether a and b agree within tol, using the larger of
+// an absolute and a relative criterion: |a−b| ≤ max(tol, tol·max(|a|,|b|)).
+// It is the approved way to compare computed floating-point quantities
+// (solarvet's floateq analyzer forbids raw ==/!= outside this package).
+// NaN compares unequal to everything, including itself; equal infinities
+// compare equal.
+func ApproxEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true // covers equal infinities and exact hits
+	}
+	d := math.Abs(a - b)
+	if math.IsInf(d, 0) {
+		return false // opposite infinities, or Inf vs finite
+	}
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// checkBracket validates a solver interval and its endpoint samples:
+// the bounds and tolerance must be finite, and the endpoint values must
+// not be NaN (±Inf endpoint values are legal — they still carry a sign).
+func checkBracket(lo, hi, tol, flo, fhi float64) error {
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) || math.IsNaN(tol) {
+		return ErrNonFinite
+	}
+	if math.IsNaN(flo) || math.IsNaN(fhi) {
+		return ErrNonFinite
+	}
+	return nil
+}
+
 // Bisect finds x in [lo, hi] with f(x) == 0 using bisection. f(lo) and
 // f(hi) must have opposite signs (either may be zero). The result is within
-// tol of the true root.
+// tol of the true root. Non-finite bounds, a NaN tolerance, or a NaN
+// objective value fail with ErrNonFinite.
 func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	flo, fhi := f(lo), f(hi)
+	if err := checkBracket(lo, hi, tol, flo, fhi); err != nil {
+		return 0, err
+	}
 	if flo == 0 {
 		return lo, nil
 	}
@@ -34,6 +76,9 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	for i := 0; i < 200; i++ {
 		mid := 0.5 * (lo + hi)
 		fm := f(mid)
+		if math.IsNaN(fm) {
+			return 0, ErrNonFinite
+		}
 		if fm == 0 || hi-lo < tol {
 			return mid, nil
 		}
@@ -50,8 +95,13 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 // analytic derivative df, falling back to bisection whenever a Newton step
 // leaves the bracket or stalls. It keeps the bracketing invariant, so it is
 // as robust as Bisect but converges quadratically near the root.
+// Non-finite bounds, a NaN tolerance, or a NaN objective value fail with
+// ErrNonFinite (a NaN derivative only forces a bisection fallback step).
 func NewtonBisect(f, df func(float64) float64, lo, hi, tol float64) (float64, error) {
 	flo, fhi := f(lo), f(hi)
+	if err := checkBracket(lo, hi, tol, flo, fhi); err != nil {
+		return 0, err
+	}
 	if flo == 0 {
 		return lo, nil
 	}
@@ -65,6 +115,9 @@ func NewtonBisect(f, df func(float64) float64, lo, hi, tol float64) (float64, er
 	dxold := hi - lo
 	for i := 0; i < 200; i++ {
 		fx := f(x)
+		if math.IsNaN(fx) {
+			return 0, ErrNonFinite
+		}
 		if fx == 0 {
 			return x, nil
 		}
@@ -98,7 +151,16 @@ func NewtonBisect(f, df func(float64) float64, lo, hi, tol float64) (float64, er
 // GoldenMax maximizes a unimodal function f on [lo, hi] by golden-section
 // search and returns (argmax, max). The result is within tol of the true
 // maximizer. For non-unimodal f it returns a local maximum.
+//
+// GoldenMax has no error return; its documented sentinel for bad input is
+// (NaN, NaN): non-finite bounds or a NaN tolerance return it immediately,
+// and a NaN objective value propagates into the returned maximum (the
+// interval shrinks geometrically regardless of the comparison outcomes,
+// so termination is unaffected).
 func GoldenMax(f func(float64) float64, lo, hi, tol float64) (float64, float64) {
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) || math.IsNaN(tol) {
+		return math.NaN(), math.NaN()
+	}
 	const invPhi = 0.6180339887498949 // (sqrt(5)-1)/2
 	a, b := lo, hi
 	x1 := b - invPhi*(b-a)

@@ -113,3 +113,106 @@ func TestLerp(t *testing.T) {
 		t.Errorf("Lerp(2,4,1) = %v, want 4", got)
 	}
 }
+
+func TestApproxEq(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 1e-12, true},
+		{1.0, 1.0 + 1e-13, 1e-12, true},
+		{1.0, 1.1, 1e-3, false},
+		{1e9, 1e9 * (1 + 1e-10), 1e-9, true}, // relative criterion
+		{0, 1e-15, 1e-12, true},              // absolute criterion near zero
+		{math.NaN(), math.NaN(), 1, false},
+		{math.NaN(), 0, 1, false},
+		{math.Inf(1), math.Inf(1), 1e-12, true},
+		{math.Inf(1), math.Inf(-1), 1e-12, false},
+		{math.Inf(1), 1e308, 1e-12, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEq(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEq(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+// Non-finite inputs must fail cleanly (error or documented sentinel),
+// never loop or return garbage.
+
+func TestBisectNonFinite(t *testing.T) {
+	lin := func(x float64) float64 { return x }
+	cases := []struct {
+		name   string
+		f      func(float64) float64
+		lo, hi float64
+		tol    float64
+	}{
+		{"nan lo", lin, math.NaN(), 1, 1e-9},
+		{"nan hi", lin, -1, math.NaN(), 1e-9},
+		{"inf lo", lin, math.Inf(-1), 1, 1e-9},
+		{"inf hi", lin, -1, math.Inf(1), 1e-9},
+		{"nan tol", lin, -1, 1, math.NaN()},
+		{"nan endpoint value", func(x float64) float64 { return math.NaN() }, -1, 1, 1e-9},
+		{"nan mid value", func(x float64) float64 {
+			if x == -1 || x == 1 {
+				return x
+			}
+			return math.NaN()
+		}, -1, 1, 1e-9},
+	}
+	for _, c := range cases {
+		if _, err := Bisect(c.f, c.lo, c.hi, c.tol); err != ErrNonFinite {
+			t.Errorf("Bisect %s: err = %v, want ErrNonFinite", c.name, err)
+		}
+	}
+}
+
+func TestNewtonBisectNonFinite(t *testing.T) {
+	lin := func(x float64) float64 { return x }
+	dlin := func(float64) float64 { return 1 }
+	if _, err := NewtonBisect(lin, dlin, math.NaN(), 1, 1e-9); err != ErrNonFinite {
+		t.Errorf("NaN lo: err = %v, want ErrNonFinite", err)
+	}
+	if _, err := NewtonBisect(lin, dlin, -1, math.Inf(1), 1e-9); err != ErrNonFinite {
+		t.Errorf("Inf hi: err = %v, want ErrNonFinite", err)
+	}
+	nanMid := func(x float64) float64 {
+		if x == -1 || x == 1 {
+			return x
+		}
+		return math.NaN()
+	}
+	if _, err := NewtonBisect(nanMid, dlin, -1, 1, 1e-9); err != ErrNonFinite {
+		t.Errorf("NaN objective: err = %v, want ErrNonFinite", err)
+	}
+	// A NaN derivative must not error or stall: it forces the bisection
+	// fallback and the root is still found.
+	nanDeriv := func(float64) float64 { return math.NaN() }
+	x, err := NewtonBisect(func(x float64) float64 { return 2*x - 3 }, nanDeriv, 0, 10, 1e-12)
+	if err != nil || math.Abs(x-1.5) > 1e-9 {
+		t.Errorf("NaN derivative: x = %v, err = %v, want 1.5, nil", x, err)
+	}
+}
+
+func TestGoldenMaxNonFinite(t *testing.T) {
+	bump := func(x float64) float64 { return -x * x }
+	for _, c := range []struct {
+		name        string
+		lo, hi, tol float64
+	}{
+		{"nan lo", math.NaN(), 1, 1e-9},
+		{"inf hi", -1, math.Inf(1), 1e-9},
+		{"nan tol", -1, 1, math.NaN()},
+	} {
+		x, fx := GoldenMax(bump, c.lo, c.hi, c.tol)
+		if !math.IsNaN(x) || !math.IsNaN(fx) {
+			t.Errorf("GoldenMax %s: got (%v, %v), want (NaN, NaN) sentinel", c.name, x, fx)
+		}
+	}
+	// NaN objective: terminates and surfaces NaN rather than garbage.
+	x, fx := GoldenMax(func(float64) float64 { return math.NaN() }, -1, 1, 1e-9)
+	if !math.IsNaN(fx) {
+		t.Errorf("NaN objective: f = %v, want NaN (x = %v)", fx, x)
+	}
+}

@@ -124,9 +124,9 @@ type Result struct {
 
 // TrajectoryPoint is one sensor sample along a tracking transient.
 type TrajectoryPoint struct {
-	K     float64
-	VLoad float64
-	PLoad float64
+	K     float64 // converter transfer ratio (dimensionless)
+	VLoad float64 // load rail voltage, V
+	PLoad float64 // load power, W
 }
 
 // Solar reports whether the tracking session established productive

@@ -8,10 +8,10 @@ import "fmt"
 // rates, asymmetric conversion losses, self-discharge, and cycling-induced
 // capacity fade — all of which show up over a simulated deployment.
 type BankConfig struct {
-	CapacityWh float64 // nameplate capacity
+	CapacityWh float64 // nameplate capacity, Wh
 
-	MaxChargeW    float64 // charge power limit (0 = unlimited)
-	MaxDischargeW float64 // discharge power limit (0 = unlimited)
+	MaxChargeW    float64 // charge power limit, W (0 = unlimited)
+	MaxDischargeW float64 // discharge power limit, W (0 = unlimited)
 
 	ChargeEff    float64 // fraction of offered energy stored
 	DischargeEff float64 // fraction of stored energy delivered

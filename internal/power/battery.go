@@ -9,8 +9,8 @@ import "fmt"
 // energy such a system can deliver to the load.
 type BatteryGrade struct {
 	Name         string
-	TrackingEff  float64 // MPPT charge-controller conversion efficiency
-	RoundTripEff float64 // battery charge/discharge round-trip efficiency
+	TrackingEff  float64 // MPPT charge-controller conversion efficiency, fraction
+	RoundTripEff float64 // battery charge/discharge round-trip efficiency, fraction
 }
 
 // The three performance levels of Table 3.
@@ -45,8 +45,9 @@ const (
 // controller, all harvested energy is buffered, and the processor then
 // consumes the de-rated energy at full speed under a stable supply.
 type BatterySystem struct {
-	// Eff is the total conversion efficiency applied to harvested energy
-	// (use a BatteryGrade's Derating, or BatteryUpperEff/BatteryLowerEff).
+	// Eff is the total conversion efficiency applied to harvested energy,
+	// as a fraction in (0, 1] (use a BatteryGrade's Derating, or
+	// BatteryUpperEff/BatteryLowerEff).
 	Eff float64
 
 	storedWh float64

@@ -35,11 +35,11 @@ func NewCircuit(gen pv.Generator) *Circuit {
 
 // Operating describes one settled electrical operating point.
 type Operating struct {
-	VPanel float64 // panel terminal voltage
-	IPanel float64 // panel output current
-	VLoad  float64 // load rail voltage
-	ILoad  float64 // load rail current
-	PLoad  float64 // power delivered to the load
+	VPanel float64 // panel terminal voltage, V
+	IPanel float64 // panel output current, A
+	VLoad  float64 // load rail voltage, V
+	ILoad  float64 // load rail current, A
+	PLoad  float64 // power delivered to the load, W
 }
 
 // LoadResistance converts a power demand at the nominal rail voltage into

@@ -13,10 +13,10 @@ import "fmt"
 // and load-side quantities by Vout = Vin/k, Iout = k·Iin (Section 2.3),
 // with a fixed conversion efficiency applied to the power flow.
 type Converter struct {
-	K          float64 // current transfer ratio
-	KMin, KMax float64 // tuning range
-	DeltaK     float64 // Δk perturbation step used by MPP tracking
-	Efficiency float64 // power conversion efficiency (0..1]
+	K          float64 // current transfer ratio (dimensionless)
+	KMin, KMax float64 // ratio tuning range (dimensionless)
+	DeltaK     float64 // Δk perturbation step used by MPP tracking, ratio units
+	Efficiency float64 // power conversion efficiency, fraction in (0, 1]
 }
 
 // NewConverter returns a converter sized for stepping a ~25-45 V panel down

@@ -5,7 +5,7 @@ import "fmt"
 // Rail is one output rail of a multi-rail power supply unit.
 type Rail struct {
 	Name  string
-	VoltV float64
+	VoltV float64 // nominal rail voltage, V
 	// Source is the supply feeding this rail. Section 4.1: "Today's power
 	// supply unit has multiple output rails which can be leveraged to
 	// power different system components with different power supplies" —

@@ -8,10 +8,10 @@ import "fmt"
 // its store is tiny — it only bridges switch transitions — but every
 // bridge cycles it, so switch-heavy weather wears it out.
 type UPS struct {
-	// CapacityWh is the bridging store (a small VRLA pack or
+	// CapacityWh is the bridging store in Wh (a small VRLA pack or
 	// supercapacitor bank).
 	CapacityWh float64
-	// BridgeSec is how long one ATS transition must be carried.
+	// BridgeSec is how long one ATS transition must be carried, seconds.
 	BridgeSec float64
 
 	storedWh  float64

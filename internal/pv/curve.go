@@ -3,9 +3,9 @@ package pv
 // IVPoint is one sample of an I-V sweep: terminal voltage, output current,
 // and the resulting power.
 type IVPoint struct {
-	V float64
-	I float64
-	P float64
+	V float64 // terminal voltage, V
+	I float64 // output current, A
+	P float64 // output power, W
 }
 
 // IVCurve samples the generator characteristic at n evenly spaced voltages

@@ -164,9 +164,9 @@ func (m *Module) ResistiveOperating(env Env, r float64) (v, i float64) {
 // MPP is a maximum power point: the voltage, current and power at which the
 // generator output is maximal for a given environment.
 type MPP struct {
-	V float64 // V
-	I float64 // A
-	P float64 // W
+	V float64 // MPP voltage, V
+	I float64 // MPP current, A
+	P float64 // MPP power, W
 }
 
 // MPP returns the maximum power point under env via golden-section search on

@@ -174,7 +174,7 @@ func ByName(name string) (Allocator, bool) {
 // It returns the planned chip power.
 func PlanBudget(chip *mcore.Chip, minute, budget float64) float64 {
 	for i := 0; i < chip.NumCores(); i++ {
-		chip.SetLevel(i, mcore.Gated)
+		_ = chip.SetLevel(i, mcore.Gated) // i and Gated are in range by construction
 	}
 	power := 0.0
 	for {

@@ -47,7 +47,7 @@ func RunBatteryBank(cfg Config, bank *power.Bank, trackingEff float64) (*BankDay
 	if err != nil {
 		return nil, err
 	}
-	chip.SetAllLevels(chip.NumLevels() - 1) // stable supply: run flat out
+	_ = chip.SetAllLevels(chip.NumLevels() - 1) // stable supply: run flat out (level is in range)
 
 	res := &BankDayResult{DayResult: *newResult(cfg, "BatteryBank")}
 	cycles0 := bank.EquivalentFullCycles()

@@ -93,7 +93,7 @@ func buildChip(cfg *Config) (*mcore.Chip, error) {
 	if err := cfg.Mix.Apply(chip); err != nil {
 		return nil, err
 	}
-	chip.SetAllLevels(mcore.Gated)
+	_ = chip.SetAllLevels(mcore.Gated) // fresh chip: Gated is always a valid level
 	return chip, nil
 }
 
@@ -157,7 +157,7 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 		if !onSolar {
 			res.Overloads++
 			// Traditional CMP on the utility: run flat out (Section 6.3).
-			chip.SetAllLevels(top)
+			_ = chip.SetAllLevels(top) // top comes from the chip itself
 		}
 		var errs []float64
 		for t := t0; t < t1-1e-9; t += cfg.StepMin {
@@ -171,7 +171,7 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 				prevDemand = 0
 				if !onSolar {
 					res.Overloads++
-					chip.SetAllLevels(top)
+					_ = chip.SetAllLevels(top) // top comes from the chip itself
 				}
 			}
 			demand := chip.Power(t)
@@ -344,7 +344,7 @@ func RunBattery(cfg Config, eff float64) (*DayResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	chip.SetAllLevels(chip.NumLevels() - 1)
+	_ = chip.SetAllLevels(chip.NumLevels() - 1) // level is in range by construction
 
 	res := newResult(cfg, fmt.Sprintf("Battery(%.0f%%)", eff*100))
 	bat := power.NewBatterySystem(eff)

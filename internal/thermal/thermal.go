@@ -23,9 +23,10 @@ type Config struct {
 	RjaCPerW float64
 	// TauMin is the thermal time constant in minutes.
 	TauMin float64
-	// TMaxC is the throttle trip point; THystC below it re-arms the core.
-	TMaxC  float64
-	THystC float64
+	// TMaxC is the throttle trip point, °C; the core re-arms once it has
+	// cooled THystC degrees °C below the trip point.
+	TMaxC  float64 // °C
+	THystC float64 // °C
 }
 
 // DefaultConfig returns 90 nm server-class values: ~1.8 °C/W to ambient,

@@ -70,13 +70,13 @@ func (c LineChart) SVG() string {
 		names = append(names, s.Name)
 		var path strings.Builder
 		for j := range s.X {
-			cmd := "L"
 			if j == 0 {
-				cmd = "M"
+				fmt.Fprintf(&path, "M%.1f %.1f", f.px(s.X[j]), f.py(s.Y[j]))
+			} else {
+				fmt.Fprintf(&path, "L%.1f %.1f", f.px(s.X[j]), f.py(s.Y[j]))
 			}
-			fmt.Fprintf(&path, "%s%.1f %.1f", cmd, f.px(s.X[j]), f.py(s.Y[j]))
 		}
-		fmt.Fprintf(&f.b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.6"/>`, path.String(), color)
+		fmt.Fprintf(&f.b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.6"/>`, esc(path.String()), esc(color))
 	}
 	for _, r := range c.Refs {
 		color := r.Color
@@ -85,9 +85,9 @@ func (c LineChart) SVG() string {
 		}
 		y := f.py(r.Y)
 		fmt.Fprintf(&f.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-dasharray="5,4"/>`,
-			marginL, y, f.w-marginR, y, color)
+			marginL, y, f.w-marginR, y, esc(color))
 		fmt.Fprintf(&f.b, `<text x="%d" y="%.1f" font-size="9" fill="%s" text-anchor="end">%s</text>`,
-			f.w-marginR-2, y-3, color, esc(r.Name))
+			f.w-marginR-2, y-3, esc(color), esc(r.Name))
 	}
 	f.legend(names)
 	return f.done()
@@ -144,7 +144,7 @@ func (c BarChart) SVG() string {
 				h = 0
 			}
 			fmt.Fprintf(&f.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
-				x, y, barW, h, color)
+				x, y, barW, h, esc(color))
 		}
 	}
 	for ci, cat := range c.Categories {
@@ -159,9 +159,9 @@ func (c BarChart) SVG() string {
 		}
 		y := f.py(r.Y)
 		fmt.Fprintf(&f.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-dasharray="5,4"/>`,
-			marginL, y, f.w-marginR, y, color)
+			marginL, y, f.w-marginR, y, esc(color))
 		fmt.Fprintf(&f.b, `<text x="%d" y="%.1f" font-size="9" fill="%s" text-anchor="end">%s</text>`,
-			f.w-marginR-2, y-3, color, esc(r.Name))
+			f.w-marginR-2, y-3, esc(color), esc(r.Name))
 	}
 	f.legend(names)
 	return f.done()

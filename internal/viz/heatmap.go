@@ -78,13 +78,13 @@ func (h Heatmap) SVG() string {
 			t := (v - lo) / (hi - lo)
 			x := marginL + cellW*float64(ci)
 			fmt.Fprintf(&f.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
-				x, y, cellW, cellH, heatColor(t))
+				x, y, cellW, cellH, esc(heatColor(t)))
 			textColor := "#222"
 			if t > 0.55 {
 				textColor = "#fff"
 			}
 			fmt.Fprintf(&f.b, `<text x="%.1f" y="%.1f" font-size="8.5" fill="%s" text-anchor="middle">%s</text>`,
-				x+cellW/2, y+cellH/2+3, textColor, esc(fmt.Sprintf(format, v)))
+				x+cellW/2, y+cellH/2+3, esc(textColor), esc(fmt.Sprintf(format, v)))
 		}
 	}
 	for ci, name := range h.ColNames {

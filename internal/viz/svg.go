@@ -29,10 +29,52 @@ const (
 	marginB    = 46
 )
 
-// esc escapes text for SVG.
+// esc escapes text for SVG and is the package's single trust boundary
+// (enforced by solarvet's rawxml analyzer): the XML special characters
+// are entity-escaped, characters outside the XML 1.0 valid set (control
+// characters other than tab/newline/CR, U+FFFE, U+FFFF) are dropped, and
+// malformed UTF-8 bytes come out as U+FFFD — so an arbitrary title can
+// never produce a malformed document.
 func esc(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\'':
+			b.WriteString("&apos;")
+		default:
+			// A malformed byte decodes as utf8.RuneError, which is
+			// itself XML-valid and renders as the replacement character.
+			if xmlValidRune(r) {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// xmlValidRune reports whether r is in the XML 1.0 Char production:
+// #x9 | #xA | #xD | [#x20-#xD7FF] | [#xE000-#xFFFD] | [#x10000-#x10FFFF].
+func xmlValidRune(r rune) bool {
+	switch {
+	case r == 0x9 || r == 0xA || r == 0xD:
+		return true
+	case r >= 0x20 && r <= 0xD7FF:
+		return true
+	case r >= 0xE000 && r <= 0xFFFD:
+		return true
+	case r >= 0x10000 && r <= 0x10FFFF:
+		return true
+	}
+	return false
 }
 
 // niceTicks returns ~n rounded tick positions covering [lo, hi].
@@ -149,7 +191,7 @@ func (f *frame) legend(names []string) {
 	x := float64(marginL)
 	for i, name := range names {
 		color := Palette[i%len(Palette)]
-		fmt.Fprintf(&f.b, `<rect x="%.1f" y="%d" width="10" height="10" fill="%s"/>`, x, marginT-12, color)
+		fmt.Fprintf(&f.b, `<rect x="%.1f" y="%d" width="10" height="10" fill="%s"/>`, x, marginT-12, esc(color))
 		fmt.Fprintf(&f.b, `<text x="%.1f" y="%d" font-size="10" fill="#333">%s</text>`, x+13, marginT-3, esc(name))
 		x += 13 + float64(7*len(name)) + 14
 	}

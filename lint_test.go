@@ -1,0 +1,38 @@
+package solarcore_test
+
+import (
+	"testing"
+
+	"solarcore/internal/lint"
+)
+
+// TestSolarvetClean is the repository's lint gate: the solarvet analyzer
+// registry (internal/lint) runs in-process over every package in the
+// module and the tree must come back clean — no findings beyond the
+// checked-in .solarvet.allow grandfather list, no stale allowlist
+// entries, and no type-check errors. `go test ./...` is therefore the
+// only CI entry point needed; `go run ./cmd/solarvet` reproduces the
+// same report interactively.
+func TestSolarvetClean(t *testing.T) {
+	res, err := lint.Run(lint.Options{})
+	if err != nil {
+		t.Fatalf("solarvet driver: %v", err)
+	}
+	for _, e := range res.LoadErrors {
+		t.Errorf("load: %v", e)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("%s", f)
+	}
+	if len(res.Findings) > 0 {
+		t.Errorf("%d finding(s); fix the code or add a justified entry to %s",
+			len(res.Findings), lint.AllowlistName)
+	}
+	for _, e := range res.UnusedAllows {
+		t.Errorf("stale allowlist entry %s:%d (%s %s) matched nothing — remove it",
+			res.AllowSource, e.Line, e.Analyzer, e.Path)
+	}
+	if pkgs := len(res.Module.Pkgs); pkgs < 20 {
+		t.Errorf("driver loaded only %d packages — the module walk looks broken", pkgs)
+	}
+}

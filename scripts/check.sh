@@ -1,0 +1,28 @@
+#!/bin/sh
+# Pre-commit gate: everything CI runs, in the order it fails fastest.
+#
+#   build          — the whole module must compile
+#   go vet         — the stock toolchain checks
+#   go test ./...  — unit, property, golden and paper-gate tests; the
+#                    solarvet lint gate (lint_test.go) runs here too, so
+#                    a tree that passes this script is lint-clean
+#   go test -race  — the packages that exercise goroutines or share
+#                    state across steps
+#
+# Run from anywhere inside the repository.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race (exp, sim, dc)'
+go test -race ./internal/exp ./internal/sim ./internal/dc
+
+echo 'OK'
