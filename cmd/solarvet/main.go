@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"solarcore/internal/lint"
@@ -53,9 +54,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res.Findings); err != nil {
+		if err := writeJSON(os.Stdout, res.Findings); err != nil {
 			fmt.Fprintf(os.Stderr, "solarvet: %v\n", err)
 			os.Exit(2)
 		}
@@ -78,4 +77,16 @@ func main() {
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// writeJSON emits findings as a JSON array. A clean tree encodes as []
+// rather than null so consumers can index the result unconditionally;
+// the element schema is pinned by TestJSONSchemaRoundTrip.
+func writeJSON(w io.Writer, findings []lint.Finding) error {
+	if findings == nil {
+		findings = []lint.Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
 }

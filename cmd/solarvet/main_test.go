@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"solarcore/internal/lint"
+)
+
+// TestJSONSchemaRoundTrip pins the -json wire format: exactly the five
+// keys file/line/col/analyzer/message per finding (Pos stays internal),
+// and a decode of the emitted bytes reproduces the findings.
+func TestJSONSchemaRoundTrip(t *testing.T) {
+	in := []lint.Finding{
+		{File: "internal/pv/module.go", Line: 42, Col: 7, Analyzer: "unitflow",
+			Message: "+ mixes W and V"},
+		{File: "internal/thermal/thermal.go", Line: 9, Col: 3, Analyzer: "floateq",
+			Message: "floating-point == comparison"},
+	}
+	var buf strings.Builder
+	if err := writeJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+
+	var generic []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &generic); err != nil {
+		t.Fatalf("emitted JSON does not decode: %v", err)
+	}
+	want := []string{"analyzer", "col", "file", "line", "message"}
+	for i, obj := range generic {
+		var keys []string
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if !reflect.DeepEqual(keys, want) {
+			t.Errorf("finding %d has keys %v, want %v", i, keys, want)
+		}
+	}
+
+	var out []lint.Finding
+	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed findings:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestJSONEmptyIsArray pins that a clean tree emits [] — not null — so
+// downstream tooling can index the result without a nil check.
+func TestJSONEmptyIsArray(t *testing.T) {
+	var buf strings.Builder
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("nil findings encode as %q, want []", got)
+	}
+}
+
+// TestJSONRealRun round-trips the actual driver output: whatever a full
+// module run reports (including allowlist-suppressed findings surfaced
+// by an empty allowlist) must survive encode/decode unchanged.
+func TestJSONRealRun(t *testing.T) {
+	res, err := lint.Run(lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := writeJSON(&buf, res.Findings); err != nil {
+		t.Fatal(err)
+	}
+	var out []lint.Finding
+	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(res.Findings) {
+		t.Errorf("round trip kept %d of %d findings", len(out), len(res.Findings))
+	}
+	for i := range out {
+		if out[i].String() != res.Findings[i].String() {
+			t.Errorf("finding %d changed: %s -> %s", i, res.Findings[i], out[i])
+		}
+	}
+}

@@ -14,7 +14,7 @@ type Climate struct {
 	// Cloud events per hour (Poisson rate); each event attenuates the
 	// clear-sky curve by a factor in [1-DepthMax, 1-DepthMin] for a duration
 	// in [DurMin, DurMax] minutes with cosine-smoothed edges.
-	CloudRate float64 // events per hour
+	CloudRate float64 // events per hour, unit="Hz"
 	DepthMin  float64 // minimum attenuation depth, fraction of clear-sky
 	DepthMax  float64 // maximum attenuation depth, fraction of clear-sky
 	DurMin    float64 // minutes

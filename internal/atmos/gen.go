@@ -104,6 +104,8 @@ func deriveSeed(site Site, season Season, day int) int64 {
 // sunWindow returns sunrise and sunset in minutes after midnight for the
 // season, with a small latitude correction (higher latitude → shorter winter
 // days, longer summer days).
+//
+// unit: latitude=°, sunrise=min, sunset=min
 func sunWindow(season Season, latitude float64) (sunrise, sunset float64) {
 	// Baselines for ~36°N.
 	var sr, ss float64
@@ -134,6 +136,8 @@ func sunWindow(season Season, latitude float64) (sunrise, sunset float64) {
 
 // clearSky returns the cloudless irradiance at the given minute: a
 // sin^1.3 arc between sunrise and sunset scaled to the climate's peak.
+//
+// unit: latitude=°, minute=min, return=W/m²
 func clearSky(cl Climate, season Season, latitude, minute float64) float64 {
 	sr, ss := sunWindow(season, latitude)
 	if minute <= sr || minute >= ss {
@@ -172,6 +176,8 @@ func genClouds(rng *rand.Rand, cl Climate) []cloudEvent {
 // cloudFactor multiplies the attenuation of all events covering the minute.
 // Each event ramps in and out with a raised-cosine profile so the trace has
 // the smooth dips of real irradiance records rather than square notches.
+//
+// unit: minute=min, return=ratio
 func cloudFactor(evs []cloudEvent, minute float64) float64 {
 	f := 1.0
 	for _, e := range evs {
@@ -187,6 +193,8 @@ func cloudFactor(evs []cloudEvent, minute float64) float64 {
 
 // ambient returns the diurnal ambient temperature: rises from the morning
 // minimum to the mid-afternoon maximum (~14:30) and falls off afterwards.
+//
+// unit: minute=min, return=°C
 func ambient(cl Climate, minute float64) float64 {
 	const tMin, tPeak = 7 * 60, 14*60 + 30
 	phase := (minute - tMin) / (tPeak - tMin)

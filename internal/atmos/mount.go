@@ -53,6 +53,8 @@ func (t *Trace) WithMount(m Mount) *Trace {
 // loses cos(hour angle proxy) of the beam; the tracker recovers it, capped
 // at maxTrackerGain, weighted by the clear-sky index kt (diffuse light has
 // no direction to track).
+//
+// unit: latitude=°, minute=min, irradiance=W/m², return=ratio
 func trackerGain(cl Climate, season Season, latitude, minute, irradiance float64) float64 {
 	sr, ss := sunWindow(season, latitude)
 	if minute <= sr || minute >= ss {

@@ -25,6 +25,8 @@ type Trace struct {
 }
 
 // Duration returns the covered timespan in minutes.
+//
+// unit: min
 func (t *Trace) Duration() float64 {
 	if len(t.Samples) < 2 {
 		return 0
@@ -35,6 +37,8 @@ func (t *Trace) Duration() float64 {
 // At returns the irradiance and ambient temperature at the given minute
 // after midnight, linearly interpolated between samples and clamped to the
 // trace endpoints.
+//
+// unit: minute=min, irradiance=W/m², ambientC=°C
 func (t *Trace) At(minute float64) (irradiance, ambientC float64) {
 	n := len(t.Samples)
 	if n == 0 {
@@ -60,6 +64,8 @@ func (t *Trace) At(minute float64) (irradiance, ambientC float64) {
 
 // InsolationKWh integrates irradiance over the trace and returns the daily
 // insolation in kWh/m² (trapezoidal rule).
+//
+// unit: kWh/m²
 func (t *Trace) InsolationKWh() float64 {
 	if len(t.Samples) < 2 {
 		return 0
@@ -73,6 +79,8 @@ func (t *Trace) InsolationKWh() float64 {
 }
 
 // PeakIrradiance returns the maximum sampled irradiance.
+//
+// unit: W/m²
 func (t *Trace) PeakIrradiance() float64 {
 	peak := 0.0
 	for _, s := range t.Samples {

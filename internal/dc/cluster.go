@@ -34,9 +34,13 @@ type Config struct {
 	Mixes []workload.Mix
 	// NodeOverheadW is the fixed PSU/fan/board power of an active node —
 	// the consolidation incentive. Zero disables it.
+	//
+	// unit: W
 	NodeOverheadW float64
 	// NodeCapW is a per-node power cap including overhead (rack branch
 	// limit). Zero means uncapped.
+	//
+	// unit: W
 	NodeCapW float64
 }
 
@@ -61,8 +65,8 @@ type Node struct {
 	Name string
 	Chip *mcore.Chip
 
-	overheadW float64
-	capW      float64
+	overheadW float64 // unit: W
+	capW      float64 // unit: W
 }
 
 // Active reports whether any core is ungated.
@@ -76,6 +80,8 @@ func (n *Node) Active() bool {
 }
 
 // Power returns the node draw including overhead when active.
+//
+// unit: minute=min, return=W
 func (n *Node) Power(minute float64) float64 {
 	p := n.Chip.Power(minute)
 	if p > 0 {
@@ -85,6 +91,8 @@ func (n *Node) Power(minute float64) float64 {
 }
 
 // Throughput returns the node throughput in GIPS.
+//
+// unit: minute=min, return=GIPS
 func (n *Node) Throughput(minute float64) float64 { return n.Chip.Throughput(minute) }
 
 // Cluster is a set of nodes sharing one solar budget.
@@ -120,6 +128,8 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // Power returns the total cluster draw.
+//
+// unit: minute=min, return=W
 func (c *Cluster) Power(minute float64) float64 {
 	sum := 0.0
 	for _, n := range c.Nodes {
@@ -129,6 +139,8 @@ func (c *Cluster) Power(minute float64) float64 {
 }
 
 // Throughput returns the total cluster throughput in GIPS.
+//
+// unit: minute=min, return=GIPS
 func (c *Cluster) Throughput(minute float64) float64 {
 	sum := 0.0
 	for _, n := range c.Nodes {
@@ -151,6 +163,8 @@ func (c *Cluster) ActiveNodes() int {
 // bestRaise finds the cluster-wide best core raise: (node, core, ΔT/ΔP,
 // ΔP) honoring node caps and charging activation overhead to the first
 // core of a parked node.
+//
+// unit: minute=min, dP=W
 func (c *Cluster) bestRaise(minute float64) (ni, core int, dP float64, ok bool) {
 	bestTPR := 0.0
 	ni = -1
@@ -179,6 +193,8 @@ func (c *Cluster) bestRaise(minute float64) (ni, core int, dP float64, ok bool) 
 
 // Raise gives one DVFS step of power to the best core in the cluster;
 // false when saturated (or every remaining step violates a cap).
+//
+// unit: minute=min
 func (c *Cluster) Raise(minute float64) bool {
 	ni, core, _, ok := c.bestRaise(minute)
 	if !ok {
@@ -189,6 +205,8 @@ func (c *Cluster) Raise(minute float64) bool {
 
 // Lower reclaims one DVFS step from the cluster-wide worst core, crediting
 // the node overhead when the step parks the node.
+//
+// unit: minute=min
 func (c *Cluster) Lower(minute float64) bool {
 	bestCost := math.Inf(1)
 	ni, core := -1, -1
@@ -228,6 +246,8 @@ func ungatedCores(chip *mcore.Chip) int {
 
 // FillBudget adapts the cluster to sit as close under the budget as the
 // step granularity allows and returns the resulting power.
+//
+// unit: minute=min, budget=W, return=W
 func (c *Cluster) FillBudget(minute, budget float64) float64 {
 	guard := 0
 	for c.Power(minute) > budget && guard < 1<<14 {
@@ -249,12 +269,12 @@ func (c *Cluster) FillBudget(minute, budget float64) float64 {
 
 // DayResult summarizes a cluster day.
 type DayResult struct {
-	SolarWh     float64
-	UtilityWh   float64
-	GInstrSolar float64
-	SolarMin    float64
-	DaytimeMin  float64
-	MPPEnergyWh float64
+	SolarWh     float64 // unit: Wh
+	UtilityWh   float64 // unit: Wh
+	GInstrSolar float64 // unit: Ginstr
+	SolarMin    float64 // unit: min
+	DaytimeMin  float64 // unit: min
+	MPPEnergyWh float64 // unit: Wh
 	// MeanActiveNodes is the time-average of the active node count while
 	// solar-powered.
 	MeanActiveNodes float64
@@ -265,12 +285,14 @@ type DayResult struct {
 // NodeDayResult is one server's share of a cluster day.
 type NodeDayResult struct {
 	Name        string
-	SolarWh     float64
-	GInstrSolar float64
-	ActiveMin   float64
+	SolarWh     float64 // unit: Wh
+	GInstrSolar float64 // unit: Ginstr
+	ActiveMin   float64 // unit: min
 }
 
 // Utilization returns solar energy used over the theoretical maximum.
+//
+// unit: ratio
 func (r DayResult) Utilization() float64 {
 	if r.MPPEnergyWh <= 0 {
 		return 0
@@ -280,6 +302,8 @@ func (r DayResult) Utilization() float64 {
 
 // RunDay drives the cluster through a solar day with 10-minute budget
 // refills and per-minute shedding, mirroring the single-node engine.
+//
+// unit: stepMin=min
 func RunDay(day *sim.SolarDay, c *Cluster, stepMin float64) DayResult {
 	if stepMin <= 0 {
 		stepMin = 1
@@ -336,6 +360,8 @@ func RunDay(day *sim.SolarDay, c *Cluster, stepMin float64) DayResult {
 // table. It ignores cross-node differences and pays every node's overhead,
 // which is exactly what the global allocator avoids — keep it for
 // comparisons.
+//
+// unit: minute=min, budget=W, return=W
 func (c *Cluster) FillBudgetFairShare(minute, budget float64) float64 {
 	share := budget / float64(len(c.Nodes))
 	for _, n := range c.Nodes {

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// moduleRoot locates the repository root for the tests below.
+func moduleRoot(t testing.TB) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestRunSharesModuleLoad pins the per-process module cache: two Run
+// calls over the same root must pay for at most one full parse +
+// type-check between them (zero when another test already primed the
+// cache).
+func TestRunSharesModuleLoad(t *testing.T) {
+	root := moduleRoot(t)
+	before := ModuleLoads()
+	first, err := Run(Options{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(Options{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := ModuleLoads() - before; delta > 1 {
+		t.Errorf("two Run calls performed %d module loads, want at most 1", delta)
+	}
+	if first.Module != second.Module {
+		t.Error("consecutive Runs returned distinct *Module values; the cache is not sharing")
+	}
+	if len(first.Findings) != len(second.Findings) {
+		t.Errorf("cached Run diverged: %d findings then %d", len(first.Findings), len(second.Findings))
+	}
+}
+
+// TestRunConcurrent exercises the analyzer fan-out and the load cache
+// under the race detector: concurrent Runs over one root must share a
+// single load and agree on the outcome.
+func TestRunConcurrent(t *testing.T) {
+	root := moduleRoot(t)
+	before := ModuleLoads()
+	const n = 4
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(Options{Root: root})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if got, want := len(results[i].Findings), len(results[0].Findings); got != want {
+			t.Errorf("run %d: %d findings, run 0 had %d", i, got, want)
+		}
+	}
+	if delta := ModuleLoads() - before; delta > 1 {
+		t.Errorf("%d concurrent Runs performed %d module loads, want at most 1", n, delta)
+	}
+}
+
+// TestStaleAllowlistEntryFails pins the ratchet: an allowlist entry that
+// matches nothing must surface in UnusedAllows, which both the CLI and
+// the lint gate treat as a failure. The list can only shrink.
+func TestStaleAllowlistEntryFails(t *testing.T) {
+	root := moduleRoot(t)
+	allow := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(allow, []byte("floateq no_such_file.go  # stale on purpose\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Root: root, Allow: allow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UnusedAllows) != 1 {
+		t.Fatalf("got %d unused allowlist entries, want exactly the stale one", len(res.UnusedAllows))
+	}
+	if e := res.UnusedAllows[0]; e.Analyzer != "floateq" || e.Path != "no_such_file.go" {
+		t.Errorf("unexpected stale entry %s %s", e.Analyzer, e.Path)
+	}
+}
+
+// BenchmarkRunCached measures a full registry pass with the module load
+// amortized away — the cost a second and later Run pays in one process.
+func BenchmarkRunCached(b *testing.B) {
+	root := moduleRoot(b)
+	if _, err := Run(Options{Root: root}); err != nil {
+		b.Fatal(err)
+	}
+	before := ModuleLoads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Options{Root: root}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if delta := ModuleLoads() - before; delta != 0 {
+		b.Fatalf("benchmark loop performed %d module loads, want 0", delta)
+	}
+}

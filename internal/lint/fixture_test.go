@@ -56,7 +56,7 @@ func TestFixtures(t *testing.T) {
 				return
 			}
 			pkg := &Package{Path: pkgPath, Dir: dir, Files: files, Types: tpkg, Info: info}
-			checkWants(t, fset, files, RunAnalyzers([]*Analyzer{an}, pkg, fset))
+			checkWants(t, fset, files, RunAnalyzers([]*Analyzer{an}, pkg, fset, nil))
 		})
 	}
 	for _, an := range Registry() {

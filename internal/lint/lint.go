@@ -49,6 +49,11 @@ type Pass struct {
 	// Fixture tests may override it (solarvet:pkgpath directive) to
 	// exercise path-scoped rules outside their real directory.
 	Path string
+	// Dep resolves an intra-module import path to its loaded package
+	// when the whole module was loaded together; nil in single-package
+	// runs (fixtures), where cross-package information degrades to
+	// analyzer-specific defaults (unitflow: unknown units).
+	Dep func(path string) *Package
 
 	report func(Finding)
 }
@@ -81,6 +86,7 @@ func Registry() []*Analyzer {
 		AnalyzerFloatEq,
 		AnalyzerSeededRand,
 		AnalyzerUnitComment,
+		AnalyzerUnitFlow,
 		AnalyzerErrCheck,
 		AnalyzerRawXML,
 	}
@@ -97,8 +103,10 @@ func ByName(name string) *Analyzer {
 }
 
 // RunAnalyzers applies every applicable analyzer to one package and
-// returns the findings sorted by position.
-func RunAnalyzers(analyzers []*Analyzer, pkg *Package, fset *token.FileSet) []Finding {
+// returns the findings sorted by position. dep resolves intra-module
+// import paths for analyzers that consult dependency packages; it may
+// be nil (fixtures, single-package runs).
+func RunAnalyzers(analyzers []*Analyzer, pkg *Package, fset *token.FileSet, dep func(path string) *Package) []Finding {
 	var out []Finding
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(pkg.Path) {
@@ -110,6 +118,7 @@ func RunAnalyzers(analyzers []*Analyzer, pkg *Package, fset *token.FileSet) []Fi
 			Pkg:   pkg.Types,
 			Info:  pkg.Info,
 			Path:  pkg.Path,
+			Dep:   dep,
 		}
 		name := a.Name
 		pass.report = func(f Finding) {

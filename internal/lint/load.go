@@ -37,6 +37,16 @@ type Module struct {
 	Pkgs []*Package
 }
 
+// Dep returns the loaded package with the given import path, or nil —
+// the dependency lookup handed to analyzers via Pass.Dep.
+func (m *Module) Dep(path string) *Package {
+	i := sort.Search(len(m.Pkgs), func(i int) bool { return m.Pkgs[i].Path >= path })
+	if i < len(m.Pkgs) && m.Pkgs[i].Path == path {
+		return m.Pkgs[i]
+	}
+	return nil
+}
+
 // FindModuleRoot walks up from dir to the nearest directory containing
 // go.mod.
 func FindModuleRoot(dir string) (string, error) {
@@ -76,6 +86,7 @@ func modulePath(root string) (string, error) {
 // module has no external dependencies, so stdlib + intra-module imports
 // cover everything); testdata, vendor and hidden directories are skipped.
 func LoadModule(root string) (*Module, error) {
+	moduleLoads.Add(1)
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err

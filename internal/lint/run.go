@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 )
 
 // AllowlistName is the checked-in allowlist file at the module root.
@@ -38,8 +40,9 @@ type Result struct {
 	LoadErrors []error
 }
 
-// Run loads the module, applies the analyzer registry, and filters
-// through the allowlist.
+// Run loads the module (through the per-process cache, so repeated runs
+// share one parse + type-check), applies the analyzer registry with one
+// worker per CPU, and filters through the allowlist.
 func Run(opts Options) (*Result, error) {
 	root := opts.Root
 	if root == "" {
@@ -52,7 +55,7 @@ func Run(opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	mod, err := LoadModule(root)
+	mod, err := LoadModuleCached(root)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +85,25 @@ func Run(opts Options) (*Result, error) {
 		for _, e := range pkg.TypeErrors {
 			res.LoadErrors = append(res.LoadErrors, fmt.Errorf("%s: %w", pkg.Path, e))
 		}
-		for _, f := range RunAnalyzers(analyzers, pkg, mod.Fset) {
+	}
+	// Analyzer execution fans out per package: loaded packages are
+	// immutable, so the only shared mutable state is the per-package
+	// findings slot each worker owns. The allowlist (which records
+	// which entries matched) is applied sequentially afterwards.
+	perPkg := make([][]Finding, len(mod.Pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range mod.Pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer func() { <-sem; wg.Done() }()
+			perPkg[i] = RunAnalyzers(analyzers, pkg, mod.Fset, mod.Dep)
+		}(i, pkg)
+	}
+	wg.Wait()
+	for _, findings := range perPkg {
+		for _, f := range findings {
 			f.File = relPath(mod.Root, f.File)
 			if allow.Allowed(f) {
 				res.Suppressed++

@@ -1,0 +1,23 @@
+package unitflow
+
+// Unparseable or misdirected annotations are findings themselves: a
+// typo in a unit expression must not silently disable checking.
+
+type badField struct {
+	// unit: furlongs
+	X float64 // want "unparseable unit annotation \"furlongs\""
+}
+
+// badSymbol has a typo in its parameter unit.
+//
+// unit: pWatts=Wz
+func badSymbol(pWatts float64) float64 { // want "unparseable unit annotation \"Wz\""
+	return pWatts
+}
+
+// badBinding names a parameter that does not exist.
+//
+// unit: nosuch=W
+func badBinding(x float64) float64 { // want "unit annotation names unknown parameter or result \"nosuch\""
+	return x
+}

@@ -1,0 +1,90 @@
+// Package unitflow is the dimensional-analysis fixture: true positives
+// (W+V, °C vs K compares, mixed min/max, annotated call-site and
+// composite-literal mismatches), accepted reductions (V·A → W, V²/Ω →
+// W, W/m²·m² → W), and the unknown-unit silence path.
+//
+//solarvet:pkgpath solarcore/internal/pv
+package unitflow
+
+import "math"
+
+// Panel is the annotated surface the flows below draw from: prose unit
+// comments (the unitcomment style) and both explicit annotation forms.
+type Panel struct {
+	VOut    float64 // terminal voltage, V
+	IOut    float64 // output current, A
+	POut    float64 // unit: W
+	RLoad   float64 // unit="Ω"
+	TempC   float64 // cell temperature, °C
+	TempK   float64 // unit: K
+	Area    float64 // aperture area, m²
+	Irr     float64 // plane-of-array irradiance, W/m²
+	Eff     float64 // conversion efficiency, fraction
+	Mystery float64
+}
+
+// loadResistance mirrors power.Circuit.LoadResistance: the V²/W → Ω
+// reduction, with parameters and result bound by annotation.
+//
+// unit: vNom=V, pWatts=W, return=Ω
+func loadResistance(vNom, pWatts float64) float64 {
+	return vNom * vNom / pWatts
+}
+
+func truePositives(p Panel) {
+	_ = p.POut + p.VOut    // want "\+ mixes W and V"
+	if p.TempC > p.TempK { // want "> compares °C against K"
+		_ = p.TempC
+	}
+	_ = min(p.POut, p.VOut)            // want "min/max over mixed dimensions: V vs W"
+	_ = math.Max(p.TempC, p.TempK)     // want "min/max over mixed dimensions: K vs °C"
+	_ = loadResistance(p.VOut, p.IOut) // want "argument \"p.IOut\" of loadResistance has unit A, parameter pWatts is declared W"
+	_ = Panel{POut: p.VOut}            // want "field POut is declared W, assigned V"
+	e := p.POut
+	e += p.VOut // want "\+= mixes W and V"
+	_ = e
+	_ = p.TempK - p.TempC // want "- mixes K and °C"
+}
+
+func reductions(p Panel) {
+	w := p.VOut * p.IOut // V·A → W
+	_ = w + p.POut
+	pw := p.VOut * p.VOut / p.RLoad // V²/Ω → W
+	_ = pw - p.POut
+	collected := p.Irr * p.Area // W/m² · m² → W
+	_ = collected + p.POut
+	half := 0.5 * p.POut // numeric constants are transparent scale factors
+	_ = half + p.POut
+	_ = p.TempC + 273.15                // offsets by constants never report
+	r := loadResistance(p.VOut, p.POut) // annotated result: Ω
+	_ = r + p.RLoad
+	v := math.Sqrt(p.POut * p.RLoad) // √(W·Ω) = √(V²) = V
+	_ = v + p.VOut
+	eff := p.POut / (p.Irr * p.Area) // W/W → dimensionless
+	_ = eff < p.Eff
+	amb := p.TempC
+	dT := p.TempC - amb // affine: Δ(°C) is a kelvin difference
+	_ = dT + p.TempK
+	_ = p.TempC + dT // absolute + difference → absolute, silent
+}
+
+// source mirrors pv.Generator: units bound on interface method
+// signatures flow through interface call sites exactly like calls to
+// the concrete implementations.
+type source interface {
+	// unit: v=V, return=A
+	CurrentAt(v float64) float64
+}
+
+func viaInterface(s source, p Panel) {
+	i := s.CurrentAt(p.VOut)
+	_ = i + p.IOut
+	_ = s.CurrentAt(p.POut) // want "argument \"p.POut\" of CurrentAt has unit W, parameter v is declared V"
+}
+
+func unknownStaysSilent(p Panel, outside float64) {
+	_ = p.Mystery + p.POut // unannotated: no unit, no noise
+	_ = outside + p.VOut
+	x := p.Mystery * p.POut // unknown × known = unknown
+	_ = x + p.VOut
+}

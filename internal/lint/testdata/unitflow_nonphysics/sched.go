@@ -1,0 +1,16 @@
+// Package unitflow_nonphysics pins that the dataflow pass stays out of
+// non-physics packages: the W+V mix below would be a finding inside
+// pv/power/dc/thermal/atmos/mppt/mcore, but this fixture declares a
+// scheduler path and must produce no findings at all.
+//
+//solarvet:pkgpath solarcore/internal/sched
+package unitflow_nonphysics
+
+type slot struct {
+	BudgetW float64 // unit: W
+	RailV   float64 // unit: V
+}
+
+func mix(s slot) float64 {
+	return s.BudgetW + s.RailV // out-of-scope package: silent
+}

@@ -1,0 +1,387 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is unitflow's unit algebra: physical dimensions as integer
+// exponent vectors over a small base, closed under product, quotient and
+// power, so that V·A → W, V²/Ω → W and W/m²·m² → W reduce to the same
+// canonical point. °C and K are deliberately *distinct* base dimensions:
+// they differ by an offset, so code that compares a Celsius quantity
+// against a Kelvin one is exactly the class of bug the analyzer exists
+// to catch. Scale prefixes (kW, mA, Wh vs J, minutes vs seconds) are
+// ignored — dimensional analysis checks shape, not magnitude.
+
+// Dim indexes one base dimension of the unit algebra.
+type Dim int
+
+const (
+	DimV Dim = iota // volt (electric potential)
+	DimA            // ampere (current)
+	DimCelsius
+	DimKelvin
+	DimS     // second (time)
+	DimM     // metre (length)
+	DimInstr // instruction (throughput bookkeeping: GIPS = instr/s)
+	numDims
+)
+
+var dimSymbols = [numDims]string{"V", "A", "°C", "K", "s", "m", "instr"}
+
+// Unit is one point of the unitflow lattice: Unknown (the top element,
+// which silences every check it touches) or a known product of integer
+// powers of the base dimensions. The zero value is Unknown.
+type Unit struct {
+	Known bool
+	Exp   [numDims]int8
+}
+
+// Unknown is the lattice top: no unit information.
+var Unknown = Unit{}
+
+// Dimensionless is the known unit of ratios, fractions and counts.
+var Dimensionless = Unit{Known: true}
+
+// baseUnit returns the unit with a single base dimension to the first
+// power.
+func baseUnit(d Dim) Unit {
+	u := Unit{Known: true}
+	u.Exp[d] = 1
+	return u
+}
+
+// Mul returns the product unit; Unknown absorbs.
+func (u Unit) Mul(v Unit) Unit {
+	if !u.Known || !v.Known {
+		return Unknown
+	}
+	out := Unit{Known: true}
+	for i := range out.Exp {
+		out.Exp[i] = u.Exp[i] + v.Exp[i]
+	}
+	return out
+}
+
+// Div returns the quotient unit; Unknown absorbs.
+func (u Unit) Div(v Unit) Unit {
+	if !u.Known || !v.Known {
+		return Unknown
+	}
+	out := Unit{Known: true}
+	for i := range out.Exp {
+		out.Exp[i] = u.Exp[i] - v.Exp[i]
+	}
+	return out
+}
+
+// Pow raises the unit to an integer power.
+func (u Unit) Pow(n int) Unit {
+	if !u.Known {
+		return Unknown
+	}
+	out := Unit{Known: true}
+	for i := range out.Exp {
+		out.Exp[i] = u.Exp[i] * int8(n)
+	}
+	return out
+}
+
+// Sqrt halves every exponent; it returns Unknown when any exponent is
+// odd (the root is not expressible in the algebra).
+func (u Unit) Sqrt() Unit {
+	if !u.Known {
+		return Unknown
+	}
+	out := Unit{Known: true}
+	for i, e := range u.Exp {
+		if e%2 != 0 {
+			return Unknown
+		}
+		out.Exp[i] = e / 2
+	}
+	return out
+}
+
+// Compatible reports whether two units may meet under +, -, or a
+// comparison: identical, or at least one Unknown.
+func (u Unit) Compatible(v Unit) bool {
+	return !u.Known || !v.Known || u == v
+}
+
+// CombineLinear joins two operand units under + or - (isSub true for
+// -), applying the affine temperature rules: °C is an absolute scale
+// whose differences are kelvins, so °C − °C is K, and °C ± K is again
+// °C. ok is false when the dimensions are truly incompatible.
+func CombineLinear(isSub bool, ux, uy Unit) (Unit, bool) {
+	if !ux.Known {
+		return uy, true
+	}
+	if !uy.Known {
+		return ux, true
+	}
+	celsius, kelv := baseUnit(DimCelsius), baseUnit(DimKelvin)
+	switch {
+	case ux == uy:
+		if isSub && ux == celsius {
+			return kelv, true // Δ(°C) is a kelvin difference
+		}
+		return ux, true
+	case ux == celsius && uy == kelv:
+		return celsius, true // absolute ± difference
+	case !isSub && ux == kelv && uy == celsius:
+		return celsius, true
+	}
+	return Unknown, false
+}
+
+// namedUnits maps canonical exponent vectors to conventional symbols so
+// diagnostics read "W", not "V·A". Populated by the init below, after
+// unitSymbols exists.
+var namedUnits = map[[numDims]int8]string{}
+
+// String renders the unit: a conventional symbol when one exists,
+// otherwise an explicit product/quotient of base dimensions.
+func (u Unit) String() string {
+	if !u.Known {
+		return "unknown"
+	}
+	if u == Dimensionless {
+		return "dimensionless"
+	}
+	if sym, ok := namedUnits[u.Exp]; ok {
+		return sym
+	}
+	var num, den []string
+	render := func(d Dim, e int8) string {
+		switch e {
+		case 1:
+			return dimSymbols[d]
+		case 2:
+			return dimSymbols[d] + "²"
+		case 3:
+			return dimSymbols[d] + "³"
+		default:
+			return dimSymbols[d] + "^" + strconv.Itoa(int(e))
+		}
+	}
+	for d := Dim(0); d < numDims; d++ {
+		switch e := u.Exp[d]; {
+		case e > 0:
+			num = append(num, render(d, e))
+		case e < 0:
+			den = append(den, render(d, -e))
+		}
+	}
+	switch {
+	case len(num) == 0:
+		return "1/" + strings.Join(den, "/")
+	case len(den) == 0:
+		return strings.Join(num, "·")
+	default:
+		return strings.Join(num, "·") + "/" + strings.Join(den, "/")
+	}
+}
+
+// unitSymbols maps every accepted spelling of a unit token to its
+// dimension vector. Scale prefixes collapse (kW ≡ W); time spellings
+// all land on seconds; energy spellings (J, Wh, eV) on V·A·s; the
+// dimensionless family (%, ratio, fraction, factor, count, 1) on the
+// empty vector. A bare "C" is the coulomb (A·s) — Celsius must be
+// written °C or degC, matching how the codebase comments temperatures.
+var unitSymbols = map[string]Unit{}
+
+func init() {
+	add := func(u Unit, names ...string) {
+		for _, n := range names {
+			unitSymbols[n] = u
+		}
+	}
+	volt := baseUnit(DimV)
+	amp := baseUnit(DimA)
+	celsius := baseUnit(DimCelsius)
+	kelvin := baseUnit(DimKelvin)
+	sec := baseUnit(DimS)
+	metre := baseUnit(DimM)
+	instr := baseUnit(DimInstr)
+	watt := volt.Mul(amp)
+	joule := watt.Mul(sec)
+
+	add(volt, "V", "volt", "volts", "mV", "kV")
+	add(amp, "A", "amp", "amps", "ampere", "amperes", "mA")
+	add(volt.Div(amp), "Ω", "ohm", "ohms")
+	add(watt, "W", "watt", "watts", "mW", "kW", "MW", "GW", "VA")
+	add(joule, "J", "joule", "joules", "kJ", "MJ", "eV", "Wh", "kWh", "MWh")
+	add(celsius, "°C", "degC", "celsius")
+	add(kelvin, "K", "kelvin")
+	add(sec, "s", "sec", "secs", "second", "seconds", "ms", "µs", "us",
+		"ns", "min", "mins", "minute", "minutes", "h", "hr", "hour",
+		"hours", "day", "days", "year", "years")
+	add(sec.Pow(-1), "Hz", "kHz", "MHz", "GHz")
+	add(metre, "m", "meter", "meters", "metre", "metres", "mm", "cm", "km")
+	add(instr, "instr", "instruction", "instructions", "Ginstr", "GInstr")
+	add(instr.Div(sec), "GIPS", "IPS", "MIPS")
+	add(amp.Mul(sec), "C", "coulomb", "coulombs", "Ah", "mAh")
+	add(amp.Mul(sec).Div(volt), "F", "farad", "farads", "nF", "pF", "µF", "uF")
+	add(Dimensionless, "%", "percent", "ratio", "fraction", "factor",
+		"factors", "dimensionless", "unitless", "per-unit", "count", "1",
+		"°", "deg", "degree", "degrees", "rad", "radians", "IPC", "dB")
+
+	name := func(sym, expr string) {
+		u, err := ParseUnit(expr)
+		if err != nil {
+			panic(err)
+		}
+		namedUnits[u.Exp] = sym
+	}
+	name("W", "V·A")
+	name("Ω", "V/A")
+	name("Hz", "1/s")
+	name("W/m²", "V·A/m²")
+	name("J", "V·A·s")
+	name("C", "A·s")
+	name("GIPS", "instr/s")
+	name("°C/W", "°C/V/A")
+	name("K/W", "K/V/A")
+	name("GIPS/W", "instr/s/V/A")
+	name("W/°C", "V·A/°C")
+	name("A/K", "A/K")
+	name("Ω·m²", "V/A·m²")
+	name("F", "A·s/V")
+}
+
+// lookupSymbol resolves one term token — a symbol with an optional
+// power suffix (², ³, or ^n with n possibly negative).
+func lookupSymbol(tok string) (Unit, bool) {
+	pow := 1
+	if i := strings.Index(tok, "^"); i >= 0 {
+		n, err := strconv.Atoi(tok[i+1:])
+		if err != nil {
+			return Unknown, false
+		}
+		pow, tok = n, tok[:i]
+	}
+	switch {
+	case strings.HasSuffix(tok, "²"):
+		pow *= 2
+		tok = strings.TrimSuffix(tok, "²")
+	case strings.HasSuffix(tok, "³"):
+		pow *= 3
+		tok = strings.TrimSuffix(tok, "³")
+	}
+	u, ok := unitSymbols[tok]
+	if !ok {
+		return Unknown, false
+	}
+	return u.Pow(pow), true
+}
+
+// ParseUnit parses a unit expression of the annotation grammar:
+//
+//	expr := term (('/' | '·' | '*') term)*
+//	term := symbol ('²' | '³' | '^' int)?
+//
+// Operators associate left to right, so W/m²·m² is (W/m²)·m² = W.
+func ParseUnit(s string) (Unit, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Unknown, fmt.Errorf("empty unit expression")
+	}
+	var terms []string
+	var ops []rune
+	start := 0
+	for i, r := range s {
+		if r == '/' || r == '·' || r == '*' {
+			terms = append(terms, strings.TrimSpace(s[start:i]))
+			ops = append(ops, r)
+			start = i + len(string(r))
+		}
+	}
+	terms = append(terms, strings.TrimSpace(s[start:]))
+	u, ok := lookupSymbol(terms[0])
+	if !ok {
+		return Unknown, fmt.Errorf("unknown unit symbol %q", terms[0])
+	}
+	for i, op := range ops {
+		v, ok := lookupSymbol(terms[i+1])
+		if !ok {
+			return Unknown, fmt.Errorf("unknown unit symbol %q", terms[i+1])
+		}
+		if op == '/' {
+			u = u.Div(v)
+		} else {
+			u = u.Mul(v)
+		}
+	}
+	return u, nil
+}
+
+// ProseUnit extracts a unit from a free-form declaration comment ("MPP
+// voltage, V", "thermal resistance (°C/W)", "time constant in
+// minutes"). It is deliberately conservative: compound tokens and
+// multi-letter symbols are taken wherever they appear, ambiguous single
+// letters only in unit position (after a digit, comma, paren, slash or
+// "in"), and if the comment names more than one distinct dimension the
+// result is Unknown — silence, not a guess.
+func ProseUnit(text string) Unit {
+	found := map[Unit]bool{}
+	isUnitChar := func(r rune) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return true
+		}
+		switch r {
+		case '°', '²', '³', '%', 'µ', 'Ω', '/', '^', '-', '·':
+			return true
+		}
+		return false
+	}
+	for _, word := range strings.FieldsFunc(text, func(r rune) bool { return !isUnitChar(r) }) {
+		if strings.ContainsAny(word, "/·") {
+			// Compound: every part must resolve (single letters allowed —
+			// "A/K" is unambiguous inside a compound).
+			if u, err := ParseUnit(word); err == nil {
+				found[u] = true
+			}
+			continue
+		}
+		// Standalone token: only multi-rune symbols and °-prefixed ones;
+		// bare single letters are too ambiguous outside unit position.
+		if len([]rune(word)) > 1 || strings.ContainsAny(word, "%°Ω") {
+			if u, ok := lookupSymbol(word); ok {
+				found[u] = true
+			}
+		}
+	}
+	for _, m := range proseSingleLetterUnitRE.FindAllStringSubmatch(text, -1) {
+		if u, ok := lookupSymbol(m[1]); ok {
+			found[u] = true
+		}
+	}
+	if len(found) != 1 {
+		return Unknown
+	}
+	for u := range found {
+		return u
+	}
+	return Unknown
+}
+
+// proseSingleLetterUnitRE finds a single-letter unit symbol in unit
+// position, mirroring unitcomment's singleLetterUnitRE but capturing
+// the symbol so it can be resolved in the algebra.
+var proseSingleLetterUnitRE = regexp.MustCompile(`(?:[0-9]|[,(/=]|\bin)\s*(°?[WVAKCJsmh])(?:[\s).,;/²]|$)`)
+
+// unitList renders a set of units for diagnostics, sorted.
+func unitList(us []Unit) string {
+	strs := make([]string, len(us))
+	for i, u := range us {
+		strs[i] = u.String()
+	}
+	sort.Strings(strs)
+	return strings.Join(strs, " vs ")
+}

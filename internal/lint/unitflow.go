@@ -1,0 +1,832 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// AnalyzerUnitFlow is the dimensional-analysis dataflow pass.
+//
+// The whole control loop of the paper is unit arithmetic — panel W/m²
+// and °C in, module V/A/W through the single-diode solver, converter
+// ratio k, per-core W budgets out — and a watts-vs-volts mix-up
+// corrupts tracking efficiency silently instead of crashing. unitcomment
+// only checks that declarations *name* a unit; unitflow reads those
+// comments (plus the explicit `unit:` annotation form) into a unit
+// algebra and propagates inferred units through assignments,
+// arithmetic, calls, composite literals and returns, reporting:
+//
+//   - `+`/`-` (and `+=`/`-=`) between operands of different dimensions;
+//   - comparisons between different dimensions (°C vs K included: they
+//     differ by an offset and are distinct in the algebra);
+//   - min/max over mixed dimensions (the builtins and math.Min/Max);
+//   - call sites and composite literals that pass a known unit where the
+//     annotated parameter or field declares another.
+//
+// The lattice top is "unknown": literals, unannotated declarations and
+// unrecognized expressions carry no unit, and unknown silences every
+// check it touches — unannotated code degrades to silence, not noise.
+var AnalyzerUnitFlow = &Analyzer{
+	Name: "unitflow",
+	Doc: "propagate physical units (V, A, W, Ω, °C, K, s, Hz, m², %) through " +
+		"the physics packages' dataflow and report dimensionally incompatible " +
+		"+/-, comparisons, min/max and annotated call sites",
+	Applies: func(path string) bool { return unitflowPackages[path] },
+	Run:     runUnitFlow,
+}
+
+// unitflowPackages are the packages whose arithmetic is physical enough
+// to carry units end to end (ISSUE 2: the seven physics packages).
+var unitflowPackages = map[string]bool{
+	"solarcore/internal/pv":      true,
+	"solarcore/internal/power":   true,
+	"solarcore/internal/dc":      true,
+	"solarcore/internal/thermal": true,
+	"solarcore/internal/atmos":   true,
+	"solarcore/internal/mppt":    true,
+	"solarcore/internal/mcore":   true,
+}
+
+// unitLineRE matches the line annotation form `unit: <spec>` at the
+// start of a comment line; unitInlineRE matches the inline form
+// `unit="<spec>"` anywhere in a comment.
+var (
+	unitLineRE   = regexp.MustCompile(`(?m)^\s*unit:\s*(.+)$`)
+	unitInlineRE = regexp.MustCompile(`unit="([^"]*)"`)
+)
+
+// annotationSpecs returns the raw bodies of every explicit unit
+// annotation in the comment group.
+func annotationSpecs(cg *ast.CommentGroup) []string {
+	if cg == nil {
+		return nil
+	}
+	var specs []string
+	text := cg.Text()
+	for _, m := range unitLineRE.FindAllStringSubmatch(text, -1) {
+		specs = append(specs, strings.TrimSpace(m[1]))
+	}
+	for _, m := range unitInlineRE.FindAllStringSubmatch(text, -1) {
+		specs = append(specs, strings.TrimSpace(m[1]))
+	}
+	return specs
+}
+
+// unitEnv maps declared objects — constants, package vars, struct
+// fields, function parameters and results — to their annotated or
+// prose-derived units.
+type unitEnv struct {
+	objs map[types.Object]Unit
+}
+
+// buildUnitEnv derives the unit environment of one package from its
+// sources. report, when non-nil, receives diagnostics for explicit
+// annotations that do not parse (dep packages are built silently — the
+// owning package's own pass reports them).
+func buildUnitEnv(files []*ast.File, info *types.Info, report func(pos token.Pos, format string, args ...any)) *unitEnv {
+	env := &unitEnv{objs: map[types.Object]Unit{}}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				env.bindFunc(fd, info, report)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.GenDecl:
+				if d.Tok == token.CONST || d.Tok == token.VAR {
+					env.bindValueDecl(d, info, report)
+				}
+			case *ast.StructType:
+				env.bindStruct(d, info, report)
+			case *ast.InterfaceType:
+				env.bindInterface(d, info, report)
+			}
+			return true
+		})
+	}
+	return env
+}
+
+// declaredUnit resolves the unit of one declared entity from its
+// comment groups: the first explicit annotation wins, then the first
+// prose-derived unit. Explicit annotations that fail to parse are
+// reported and yield Unknown.
+func declaredUnit(pos token.Pos, report func(token.Pos, string, ...any), groups ...*ast.CommentGroup) Unit {
+	for _, cg := range groups {
+		for _, spec := range annotationSpecs(cg) {
+			if strings.Contains(spec, "=") {
+				if report != nil {
+					report(pos, "declaration unit annotation takes a bare unit expression, not bindings: %q", spec)
+				}
+				return Unknown
+			}
+			u, err := ParseUnit(spec)
+			if err != nil {
+				if report != nil {
+					report(pos, "unparseable unit annotation %q: %v", spec, err)
+				}
+				return Unknown
+			}
+			return u
+		}
+	}
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		if u := ProseUnit(cg.Text()); u.Known {
+			return u
+		}
+	}
+	return Unknown
+}
+
+// unitBearing reports whether a declared entity of type t can carry a
+// unit: a float, or a slice/array of floats (the unit applies to the
+// elements).
+func unitBearing(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isFloat(u.Elem())
+	case *types.Array:
+		return isFloat(u.Elem())
+	}
+	return isFloat(t)
+}
+
+// bindValueDecl attaches units to const/var names. A spec's own
+// comments win over the declaration group's doc, mirroring how
+// unitcomment scopes group comments.
+func (env *unitEnv) bindValueDecl(d *ast.GenDecl, info *types.Info, report func(token.Pos, string, ...any)) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		u := declaredUnit(vs.Pos(), report, vs.Comment, vs.Doc, d.Doc)
+		if !u.Known {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj := info.Defs[name]
+			if obj != nil && unitBearing(obj.Type()) {
+				env.objs[obj] = u
+			}
+		}
+	}
+}
+
+// bindStruct attaches units to struct fields.
+func (env *unitEnv) bindStruct(st *ast.StructType, info *types.Info, report func(token.Pos, string, ...any)) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue
+		}
+		u := declaredUnit(field.Pos(), report, field.Comment, field.Doc)
+		if !u.Known {
+			continue
+		}
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && unitBearing(obj.Type()) {
+				env.objs[obj] = u
+			}
+		}
+	}
+}
+
+// bindFunc attaches units to a function's parameters and results from
+// its doc comment. A bare `unit: W` binds the single result; the
+// binding form `unit: pWatts=W, return=Ω` names parameters and results
+// (named results by name, an unnamed one as `return` or `result`).
+func (env *unitEnv) bindFunc(fd *ast.FuncDecl, info *types.Info, report func(token.Pos, string, ...any)) {
+	specs := annotationSpecs(fd.Doc)
+	if len(specs) == 0 {
+		return
+	}
+	obj, _ := info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	env.bindSignature(fd.Name.Name, fd.Pos(), obj.Type().(*types.Signature), specs, report)
+}
+
+// bindInterface attaches units to interface method parameters and
+// results, so calls through an interface (pv.Generator most of all)
+// carry units exactly like calls to the concrete implementations.
+func (env *unitEnv) bindInterface(it *ast.InterfaceType, info *types.Info, report func(token.Pos, string, ...any)) {
+	for _, field := range it.Methods.List {
+		if len(field.Names) != 1 { // embedded interfaces carry no doc of their own
+			continue
+		}
+		specs := append(annotationSpecs(field.Doc), annotationSpecs(field.Comment)...)
+		if len(specs) == 0 {
+			continue
+		}
+		obj, _ := info.Defs[field.Names[0]].(*types.Func)
+		if obj == nil {
+			continue
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		env.bindSignature(field.Names[0].Name, field.Pos(), sig, specs, report)
+	}
+}
+
+// bindSignature applies annotation specs to one function signature.
+func (env *unitEnv) bindSignature(fnName string, pos token.Pos, sig *types.Signature, specs []string, report func(token.Pos, string, ...any)) {
+	byName := map[string]types.Object{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if p.Name() != "" {
+			byName[p.Name()] = p
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		r := sig.Results().At(i)
+		if r.Name() != "" {
+			byName[r.Name()] = r
+		}
+	}
+	bindResult0 := func(u Unit) bool {
+		if sig.Results().Len() == 0 {
+			if report != nil {
+				report(pos, "unit annotation binds the result of %s, which returns nothing", fnName)
+			}
+			return false
+		}
+		env.objs[sig.Results().At(0)] = u
+		return true
+	}
+	for _, spec := range specs {
+		if !strings.Contains(spec, "=") {
+			// Bare expression: the function's (single) result unit.
+			u, err := ParseUnit(spec)
+			if err != nil {
+				if report != nil {
+					report(pos, "unparseable unit annotation %q: %v", spec, err)
+				}
+				continue
+			}
+			bindResult0(u)
+			continue
+		}
+		for _, bind := range strings.Split(spec, ",") {
+			name, expr, ok := strings.Cut(bind, "=")
+			name, expr = strings.TrimSpace(name), strings.TrimSpace(expr)
+			if !ok || name == "" || expr == "" {
+				if report != nil {
+					report(pos, "malformed unit binding %q (want name=unit)", strings.TrimSpace(bind))
+				}
+				continue
+			}
+			u, err := ParseUnit(expr)
+			if err != nil {
+				if report != nil {
+					report(pos, "unparseable unit annotation %q: %v", expr, err)
+				}
+				continue
+			}
+			if name == "return" || name == "result" {
+				bindResult0(u)
+				continue
+			}
+			target, found := byName[name]
+			if !found {
+				if report != nil {
+					report(pos, "unit annotation names unknown parameter or result %q of %s", name, fnName)
+				}
+				continue
+			}
+			env.objs[target] = u
+		}
+	}
+}
+
+// unitScope evaluates units within one package pass: the package's own
+// environment, lazily-built environments of intra-module dependencies,
+// and per-function local inference state.
+type unitScope struct {
+	p    *Pass
+	env  *unitEnv
+	deps map[*types.Package]*unitEnv
+
+	// fn is the function currently being analyzed; locals holds units
+	// inferred for objects declared inside it, conflicted the objects
+	// whose inferred units disagreed across assignments (forever
+	// Unknown — conservative, not noisy).
+	fn         *ast.FuncDecl
+	locals     map[types.Object]Unit
+	conflicted map[types.Object]bool
+}
+
+func runUnitFlow(p *Pass) {
+	s := &unitScope{
+		p:    p,
+		deps: map[*types.Package]*unitEnv{},
+	}
+	s.env = buildUnitEnv(p.Files, p.Info, p.Reportf)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					s.checkFunc(d)
+				}
+			case *ast.GenDecl:
+				if d.Tok == token.VAR {
+					// Package-level initializers: no locals, checks only.
+					s.fn, s.locals, s.conflicted = nil, map[types.Object]Unit{}, map[types.Object]bool{}
+					s.checkNode(d)
+				}
+			}
+		}
+	}
+}
+
+// depEnv returns the unit environment of another package of the module
+// (built on first use), or nil when unavailable.
+func (s *unitScope) depEnv(pkg *types.Package) *unitEnv {
+	if env, ok := s.deps[pkg]; ok {
+		return env
+	}
+	var env *unitEnv
+	if s.p.Dep != nil {
+		if dep := s.p.Dep(pkg.Path()); dep != nil {
+			env = buildUnitEnv(dep.Files, dep.Info, nil)
+		}
+	}
+	s.deps[pkg] = env
+	return env
+}
+
+// lookupObj resolves a declared object's unit: function locals first,
+// then the package environment, then the owning dependency's.
+func (s *unitScope) lookupObj(obj types.Object) Unit {
+	if obj == nil {
+		return Unknown
+	}
+	if s.conflicted[obj] {
+		return Unknown
+	}
+	if u, ok := s.locals[obj]; ok {
+		return u
+	}
+	if u, ok := s.env.objs[obj]; ok {
+		return u
+	}
+	if pkg := obj.Pkg(); pkg != nil && s.p.Pkg != nil && pkg != s.p.Pkg {
+		if env := s.depEnv(pkg); env != nil {
+			if u, ok := env.objs[obj]; ok {
+				return u
+			}
+		}
+	}
+	return Unknown
+}
+
+// checkFunc infers local units to a fixpoint, then walks the body
+// reporting dimensional conflicts.
+func (s *unitScope) checkFunc(fd *ast.FuncDecl) {
+	s.fn = fd
+	s.locals = map[types.Object]Unit{}
+	s.conflicted = map[types.Object]bool{}
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				s.inferAssign(st, &changed)
+			case *ast.GenDecl:
+				if st.Tok == token.VAR {
+					s.inferVarDecl(st, &changed)
+				}
+			case *ast.RangeStmt:
+				s.inferRange(st, &changed)
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	s.checkNode(fd.Body)
+}
+
+// setLocal records an inferred unit for an identifier declared inside
+// the current function. Annotated objects keep their declared unit;
+// disagreeing inferences poison the object to Unknown.
+func (s *unitScope) setLocal(id *ast.Ident, u Unit, changed *bool) {
+	if !u.Known || id.Name == "_" {
+		return
+	}
+	obj := s.p.Info.Defs[id]
+	if obj == nil {
+		obj = s.p.Info.Uses[id]
+	}
+	if obj == nil || s.conflicted[obj] {
+		return
+	}
+	if _, annotated := s.env.objs[obj]; annotated {
+		return
+	}
+	// Only objects declared within this function: package-level state
+	// must not pick up units from one arbitrary assignment site.
+	if s.fn == nil || obj.Pos() < s.fn.Pos() || obj.Pos() > s.fn.End() {
+		return
+	}
+	if prev, ok := s.locals[obj]; ok {
+		if prev != u {
+			s.conflicted[obj] = true
+			delete(s.locals, obj)
+			*changed = true
+		}
+		return
+	}
+	s.locals[obj] = u
+	*changed = true
+}
+
+// inferAssign propagates units through one assignment statement.
+func (s *unitScope) inferAssign(st *ast.AssignStmt, changed *bool) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if id, ok := st.Lhs[0].(*ast.Ident); ok && len(st.Rhs) == 1 {
+			lu := s.unitOf(st.Lhs[0])
+			ru := s.mulOperand(st.Rhs[0])
+			if lu.Known && ru.Known {
+				if st.Tok == token.MUL_ASSIGN {
+					s.setLocal(id, lu.Mul(ru), changed)
+				} else {
+					s.setLocal(id, lu.Div(ru), changed)
+				}
+			}
+		}
+		return
+	default:
+		return
+	}
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				s.setLocal(id, s.unitOf(st.Rhs[i]), changed)
+			}
+		}
+		return
+	}
+	// Tuple assignment from a call: bind annotated results by position.
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(s.p.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(st.Lhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			s.setLocal(id, s.lookupObj(sig.Results().At(i)), changed)
+		}
+	}
+}
+
+// inferVarDecl propagates units through `var` statements in a body.
+func (s *unitScope) inferVarDecl(d *ast.GenDecl, changed *bool) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) != len(vs.Names) {
+			continue
+		}
+		for i, name := range vs.Names {
+			s.setLocal(name, s.unitOf(vs.Values[i]), changed)
+		}
+	}
+}
+
+// inferRange gives the value variable of `for _, x := range xs` the
+// element unit of xs.
+func (s *unitScope) inferRange(st *ast.RangeStmt, changed *bool) {
+	if st.Value == nil {
+		return
+	}
+	id, ok := st.Value.(*ast.Ident)
+	if !ok {
+		return
+	}
+	s.setLocal(id, s.unitOf(st.X), changed)
+}
+
+// mulOperand is unitOf for multiplication/division contexts, where a
+// constant of unknown unit is a dimensionless scale factor (0.96 * W is
+// W) rather than lattice top. In +/- contexts constants stay unknown so
+// offsets like `+ 273.15` never report.
+func (s *unitScope) mulOperand(e ast.Expr) Unit {
+	u := s.unitOf(e)
+	if !u.Known && s.isConstant(e) {
+		return Dimensionless
+	}
+	return u
+}
+
+// isConstant reports whether e is a compile-time constant expression.
+func (s *unitScope) isConstant(e ast.Expr) bool {
+	tv, ok := s.p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// unitOf infers the unit of an expression under the current scope.
+func (s *unitScope) unitOf(e ast.Expr) Unit {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := s.p.Info.Uses[x]
+		if obj == nil {
+			obj = s.p.Info.Defs[x]
+		}
+		return s.lookupObj(obj)
+	case *ast.SelectorExpr:
+		if sel, ok := s.p.Info.Selections[x]; ok {
+			if sel.Kind() == types.FieldVal {
+				return s.lookupObj(sel.Obj())
+			}
+			return Unknown
+		}
+		// Qualified identifier (pkg.Name).
+		return s.lookupObj(s.p.Info.Uses[x.Sel])
+	case *ast.ParenExpr:
+		return s.unitOf(x.X)
+	case *ast.IndexExpr:
+		return s.unitOf(x.X)
+	case *ast.SliceExpr:
+		return s.unitOf(x.X)
+	case *ast.StarExpr:
+		return s.unitOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return s.unitOf(x.X)
+		}
+		return Unknown
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.MUL:
+			return s.mulOperand(x.X).Mul(s.mulOperand(x.Y))
+		case token.QUO:
+			return s.mulOperand(x.X).Div(s.mulOperand(x.Y))
+		case token.ADD, token.SUB:
+			// The units must agree (checkNode reports when they do not);
+			// propagate through the affine temperature rules (°C − °C is
+			// a K difference) or whichever side knows.
+			u, ok := CombineLinear(x.Op == token.SUB, s.unitOf(x.X), s.unitOf(x.Y))
+			if !ok {
+				return Unknown
+			}
+			return u
+		}
+		return Unknown
+	case *ast.CallExpr:
+		return s.unitOfCall(x)
+	}
+	return Unknown
+}
+
+// mathPassthrough maps math functions whose result carries the unit of
+// their first argument.
+var mathPassthrough = map[string]bool{
+	"Abs": true, "Min": true, "Max": true, "Mod": true, "Remainder": true,
+	"Floor": true, "Ceil": true, "Trunc": true, "Round": true,
+	"RoundToEven": true, "Copysign": true, "Dim": true, "Hypot": true,
+}
+
+// unitOfCall infers the unit of a call: conversions and unit-preserving
+// builtins pass units through, math.Sqrt/Pow apply the algebra, and an
+// annotated callee contributes its declared result unit.
+func (s *unitScope) unitOfCall(call *ast.CallExpr) Unit {
+	// Conversions (float64(x)) preserve the operand's unit.
+	if tv, ok := s.p.Info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return s.unitOf(call.Args[0])
+		}
+		return Unknown
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.p.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "min" || b.Name() == "max" {
+				for _, arg := range call.Args {
+					if u := s.unitOf(arg); u.Known {
+						return u
+					}
+				}
+			}
+			return Unknown
+		}
+	}
+	fn := calleeFunc(s.p.Info, call)
+	if fn == nil {
+		return Unknown
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "math" && len(call.Args) >= 1 {
+		switch {
+		case mathPassthrough[fn.Name()]:
+			for _, arg := range call.Args {
+				if u := s.unitOf(arg); u.Known {
+					return u
+				}
+			}
+			return Unknown
+		case fn.Name() == "Sqrt":
+			return s.unitOf(call.Args[0]).Sqrt()
+		case fn.Name() == "Pow" && len(call.Args) == 2:
+			if tv, ok := s.p.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+				if n, exact := intConstValue(tv); exact {
+					return s.unitOf(call.Args[0]).Pow(n)
+				}
+			}
+			return Unknown
+		}
+		return Unknown
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return Unknown
+	}
+	return s.lookupObj(sig.Results().At(0))
+}
+
+// checkNode walks one declaration body reporting dimensional conflicts.
+func (s *unitScope) checkNode(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			s.checkBinary(x)
+		case *ast.AssignStmt:
+			s.checkCompoundAssign(x)
+		case *ast.CallExpr:
+			s.checkCall(x)
+		case *ast.CompositeLit:
+			s.checkCompositeLit(x)
+		}
+		return true
+	})
+}
+
+// checkBinary reports +, - and comparisons whose operands carry
+// different known dimensions.
+func (s *unitScope) checkBinary(x *ast.BinaryExpr) {
+	switch x.Op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ,
+		token.EQL, token.NEQ:
+	default:
+		return
+	}
+	if !isFloat(s.p.Info.TypeOf(x.X)) && !isFloat(s.p.Info.TypeOf(x.Y)) {
+		return
+	}
+	ux, uy := s.unitOf(x.X), s.unitOf(x.Y)
+	switch x.Op {
+	case token.ADD, token.SUB:
+		// °C ± K combinations are legitimate affine arithmetic.
+		if _, ok := CombineLinear(x.Op == token.SUB, ux, uy); !ok {
+			s.p.Reportf(x.OpPos, "%s mixes %s and %s", x.Op, ux, uy)
+		}
+	default:
+		if !ux.Compatible(uy) {
+			s.p.Reportf(x.OpPos, "%s compares %s against %s", x.Op, ux, uy)
+		}
+	}
+}
+
+// checkCompoundAssign reports += / -= between different dimensions.
+func (s *unitScope) checkCompoundAssign(st *ast.AssignStmt) {
+	if st.Tok != token.ADD_ASSIGN && st.Tok != token.SUB_ASSIGN {
+		return
+	}
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 || !isFloat(s.p.Info.TypeOf(st.Lhs[0])) {
+		return
+	}
+	lu, ru := s.unitOf(st.Lhs[0]), s.unitOf(st.Rhs[0])
+	if _, ok := CombineLinear(st.Tok == token.SUB_ASSIGN, lu, ru); !ok {
+		s.p.Reportf(st.TokPos, "%s mixes %s and %s", st.Tok, lu, ru)
+	}
+}
+
+// checkCall reports mixed-dimension min/max (builtin and math.Min/Max)
+// and arguments whose known unit contradicts the annotated parameter.
+func (s *unitScope) checkCall(call *ast.CallExpr) {
+	if s.isMinMax(call) {
+		var units []Unit
+		seen := map[Unit]bool{}
+		for _, arg := range call.Args {
+			if !isFloat(s.p.Info.TypeOf(arg)) {
+				continue
+			}
+			if u := s.unitOf(arg); u.Known && !seen[u] {
+				seen[u] = true
+				units = append(units, u)
+			}
+		}
+		if len(units) > 1 {
+			s.p.Reportf(call.Pos(), "min/max over mixed dimensions: %s", unitList(units))
+		}
+		return
+	}
+	fn := calleeFunc(s.p.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			break
+		}
+		if i >= sig.Params().Len() {
+			break
+		}
+		param := sig.Params().At(i)
+		pu := s.lookupObj(param)
+		if !pu.Known {
+			continue
+		}
+		au := s.unitOf(arg)
+		if !au.Known || au == pu {
+			continue
+		}
+		s.p.Reportf(arg.Pos(), "argument %q of %s has unit %s, parameter %s is declared %s",
+			exprString(arg), fn.Name(), au, param.Name(), pu)
+	}
+}
+
+// isMinMax reports whether the call is builtin min/max or math.Min/Max.
+func (s *unitScope) isMinMax(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.p.Info.Uses[id].(*types.Builtin); ok {
+			return b.Name() == "min" || b.Name() == "max"
+		}
+	}
+	fn := calleeFunc(s.p.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" &&
+		(fn.Name() == "Min" || fn.Name() == "Max")
+}
+
+// intConstValue extracts an exact integer value from a constant.
+func intConstValue(tv types.TypeAndValue) (int, bool) {
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	n, exact := constant.Int64Val(v)
+	return int(n), exact
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// checkCompositeLit reports keyed struct literal fields initialized
+// with a known unit that contradicts the field's declared one.
+func (s *unitScope) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := s.p.Info.Types[lit]
+	if !ok {
+		return
+	}
+	if _, ok := tv.Type.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fu := s.lookupObj(s.p.Info.Uses[key])
+		if !fu.Known {
+			continue
+		}
+		vu := s.unitOf(kv.Value)
+		if !vu.Known || vu == fu {
+			continue
+		}
+		s.p.Reportf(kv.Value.Pos(), "field %s is declared %s, assigned %s", key.Name, fu, vu)
+	}
+}

@@ -7,18 +7,23 @@ import "fmt"
 // effective switched capacitance (nF) that set throughput and dynamic
 // power. Package workload provides phase-varying implementations.
 type Activity interface {
+	// Demand returns the activity seen at a simulation minute.
+	//
+	// unit: minute=min, ipc=instr, ceffNF=F
 	Demand(minute float64) (ipc, ceffNF float64)
 }
 
 // ConstantActivity is a fixed-behaviour Activity, useful for tests and
 // synthetic loads.
 type ConstantActivity struct {
-	IPC    float64
-	CeffNF float64
+	IPC    float64 // committed instructions per cycle
+	CeffNF float64 // effective switched capacitance, nF
 }
 
 // Demand returns the fixed IPC and capacitance.
-func (a ConstantActivity) Demand(float64) (float64, float64) { return a.IPC, a.CeffNF }
+//
+// unit: minute=min, ipc=instr, ceffNF=F
+func (a ConstantActivity) Demand(minute float64) (ipc, ceffNF float64) { return a.IPC, a.CeffNF }
 
 // Gated marks a power-gated core (per-core power gating, Section 4.1).
 const Gated = -1
@@ -146,6 +151,8 @@ func (c *Chip) StepDown(core int) bool {
 // CorePower returns one core's instantaneous power draw (W) at the given
 // simulation minute: Ceff·V²·f dynamic power plus voltage-proportional
 // leakage; zero when gated.
+//
+// unit: minute=min, return=W
 func (c *Chip) CorePower(core int, minute float64) float64 {
 	lvl := c.levels[core]
 	if lvl == Gated {
@@ -158,6 +165,8 @@ func (c *Chip) CorePower(core int, minute float64) float64 {
 }
 
 // Power returns the chip's total instantaneous power draw (W).
+//
+// unit: minute=min, return=W
 func (c *Chip) Power(minute float64) float64 {
 	sum := 0.0
 	for i := 0; i < c.cfg.Cores; i++ {
@@ -168,6 +177,8 @@ func (c *Chip) Power(minute float64) float64 {
 
 // CoreThroughput returns one core's instantaneous throughput in GIPS
 // (billion instructions per second): IPC·f, zero when gated.
+//
+// unit: minute=min, return=GIPS
 func (c *Chip) CoreThroughput(core int, minute float64) float64 {
 	lvl := c.levels[core]
 	if lvl == Gated {
@@ -178,6 +189,8 @@ func (c *Chip) CoreThroughput(core int, minute float64) float64 {
 }
 
 // Throughput returns the chip's total instantaneous throughput in GIPS.
+//
+// unit: minute=min, return=GIPS
 func (c *Chip) Throughput(minute float64) float64 {
 	sum := 0.0
 	for i := 0; i < c.cfg.Cores; i++ {
@@ -189,6 +202,8 @@ func (c *Chip) Throughput(minute float64) float64 {
 // MinPower returns the chip power with every core gated except one at the
 // lowest operating point — the smallest load the chip can present while
 // still making progress.
+//
+// unit: minute=min, return=W
 func (c *Chip) MinPower(minute float64) float64 {
 	min := 0.0
 	for i := 0; i < c.cfg.Cores; i++ {
@@ -205,6 +220,8 @@ func (c *Chip) MinPower(minute float64) float64 {
 
 // MaxPower returns the chip power with every core at the top operating
 // point.
+//
+// unit: minute=min, return=W
 func (c *Chip) MaxPower(minute float64) float64 {
 	sum := 0.0
 	top := len(c.cfg.Points) - 1
@@ -220,6 +237,8 @@ func (c *Chip) MaxPower(minute float64) float64 {
 // DeltaUp returns the throughput and power increases of raising a core one
 // operating point at the given minute. ok is false when the core is already
 // at the top.
+//
+// unit: minute=min, dT=GIPS, dP=W
 func (c *Chip) DeltaUp(core int, minute float64) (dT, dP float64, ok bool) {
 	lvl := c.levels[core]
 	if lvl == len(c.cfg.Points)-1 {
@@ -239,6 +258,8 @@ func (c *Chip) DeltaUp(core int, minute float64) (dT, dP float64, ok bool) {
 // DeltaDown returns the throughput and power decreases (as positive
 // numbers) of lowering a core one operating point. ok is false when the
 // core is already gated.
+//
+// unit: minute=min, dT=GIPS, dP=W
 func (c *Chip) DeltaDown(core int, minute float64) (dT, dP float64, ok bool) {
 	lvl := c.levels[core]
 	if lvl == Gated {
@@ -259,6 +280,8 @@ func (c *Chip) DeltaDown(core int, minute float64) (dT, dP float64, ok bool) {
 // TPRUp returns the throughput-power ratio ΔT/ΔP of raising a core one
 // level (Section 4.3) — the marginal performance return of giving this core
 // more power. Returns 0 when the core cannot be raised.
+//
+// unit: minute=min, return=GIPS/W
 func (c *Chip) TPRUp(core int, minute float64) float64 {
 	dT, dP, ok := c.DeltaUp(core, minute)
 	if !ok || dP <= 0 {
@@ -270,6 +293,8 @@ func (c *Chip) TPRUp(core int, minute float64) float64 {
 // TPRDown returns the throughput-power ratio ΔT/ΔP of lowering a core one
 // level — the performance cost per watt reclaimed. Returns +Inf-free 0 when
 // the core is gated already.
+//
+// unit: minute=min, return=GIPS/W
 func (c *Chip) TPRDown(core int, minute float64) float64 {
 	dT, dP, ok := c.DeltaDown(core, minute)
 	if !ok || dP <= 0 {

@@ -15,8 +15,8 @@ import "fmt"
 
 // OpPoint is one DVFS operating point.
 type OpPoint struct {
-	FreqGHz float64
-	VoltV   float64
+	FreqGHz float64 // core clock, GHz
+	VoltV   float64 // supply voltage, V
 }
 
 // Config describes the simulated chip.
@@ -30,6 +30,8 @@ type Config struct {
 
 	// LeakWPerV is the per-core leakage coefficient: Pleak = LeakWPerV·V
 	// for an ungated core. A gated core leaks nothing.
+	//
+	// unit: W/V
 	LeakWPerV float64
 
 	// ActiveWatts is the constant per-core power of an ungated core that
@@ -38,6 +40,8 @@ type Config struct {
 	// reclaims it. This floor is what keeps energy-per-instruction from
 	// collapsing at low V/F and makes the full-speed battery baseline
 	// competitive, as in the paper's Wattch-calibrated model.
+	//
+	// unit: W
 	ActiveWatts float64
 
 	// Classes optionally makes the chip heterogeneous: one entry per core
@@ -51,8 +55,8 @@ type Config struct {
 // CoreClass scales one core of a heterogeneous chip: a "little" core might
 // be {Perf: 0.5, Power: 0.25}.
 type CoreClass struct {
-	Perf  float64 // throughput multiplier
-	Power float64 // power multiplier (dynamic, leakage and uncore floor)
+	Perf  float64 // throughput multiplier, dimensionless
+	Power float64 // power multiplier (dynamic, leakage and uncore floor), dimensionless
 }
 
 // BigLittleConfig returns a 4+4 heterogeneous variant of the default chip:

@@ -137,6 +137,8 @@ func (r Result) Solar() bool { return !r.Overload && r.RaisedTo > 0 }
 // operate samples the sensors for the chip's current demand, applying the
 // configured measurement noise — the controller only ever sees what its
 // I/V sensors report.
+//
+// unit: minute=min
 func (c *Controller) operate(env pv.Env, minute float64) power.Operating {
 	op := c.Circuit.OperateAtDemand(env, c.Chip.Power(minute))
 	if c.noise != nil {
@@ -157,6 +159,8 @@ func (c *Controller) operate(env pv.Env, minute float64) power.Operating {
 // tuning direction) and Step 3 (load-match back to nominal) until output
 // power stops improving, and finally sheds MarginSteps of load as the
 // protective power margin.
+//
+// unit: minute=min
 func (c *Controller) Track(env pv.Env, minute float64) Result {
 	steps := 0
 	budgetLeft := func() bool { return steps < c.Cfg.MaxSteps }
@@ -249,6 +253,8 @@ func (c *Controller) Track(env pv.Env, minute float64) Result {
 // scanRatio sweeps the converter range at the present load and parks the
 // ratio at the best-producing point — the global-scan prefix enabled by
 // Config.ScanPoints.
+//
+// unit: minute=min
 func (c *Controller) scanRatio(env pv.Env, minute float64, steps *int) {
 	conv := c.Circuit.Conv
 	bestK, bestP := conv.K, -1.0
@@ -278,6 +284,8 @@ func (c *Controller) scanRatio(env pv.Env, minute float64, steps *int) {
 //     problem (VLoad = Vpv/k cannot reach nominal when k is too large), so
 //     the controller walks k down before shedding the last core. Only a
 //     railed converter with everything gated is a true overload.
+//
+// unit: minute=min
 func (c *Controller) restoreRail(env pv.Env, minute float64, steps *int) (power.Operating, bool) {
 	vNom := c.Circuit.VNominal
 	hi := vNom * (1 + c.Cfg.VTolerance)
@@ -363,6 +371,8 @@ func (c *Controller) restoreRail(env pv.Env, minute float64, steps *int) (power.
 // minimalDemand returns the power of the lightest non-empty configuration:
 // one core at the lowest operating point. Demand at or below it means load
 // shedding cannot help the rail any further.
+//
+// unit: minute=min, return=W
 func (c *Controller) minimalDemand(minute float64) float64 {
 	return c.Chip.MinPower(minute) * 1.01
 }

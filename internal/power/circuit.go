@@ -45,6 +45,8 @@ type Operating struct {
 // LoadResistance converts a power demand at the nominal rail voltage into
 // the equivalent load resistance. Zero or negative demand is an open
 // circuit (+Inf).
+//
+// unit: pWatts=W, return=Ω
 func (c *Circuit) LoadResistance(pWatts float64) float64 {
 	if pWatts <= 0 {
 		return math.Inf(1)
@@ -55,6 +57,8 @@ func (c *Circuit) LoadResistance(pWatts float64) float64 {
 // Operate returns the settled operating point for a load resistance rLoad
 // at the rail, under the given environment and the converter's current
 // ratio.
+//
+// unit: rLoad=Ω
 func (c *Circuit) Operate(env pv.Env, rLoad float64) Operating {
 	voc := c.Gen.OpenCircuitVoltage(env)
 	if voc <= 0 {
@@ -73,12 +77,16 @@ func (c *Circuit) Operate(env pv.Env, rLoad float64) Operating {
 
 // OperateAtDemand returns the operating point for a chip demanding pWatts
 // at the nominal rail.
+//
+// unit: pWatts=W
 func (c *Circuit) OperateAtDemand(env pv.Env, pWatts float64) Operating {
 	return c.Operate(env, c.LoadResistance(pWatts))
 }
 
 // AvailableMax returns the maximum power the circuit can deliver to the
 // load under env: the panel MPP derated by converter efficiency.
+//
+// unit: W
 func (c *Circuit) AvailableMax(env pv.Env) float64 {
 	return c.Gen.MPP(env).P * c.Conv.Efficiency
 }
@@ -86,6 +94,8 @@ func (c *Circuit) AvailableMax(env pv.Env) float64 {
 // MatchedRatio returns the converter ratio that would place the panel at
 // its MPP voltage while holding the rail at nominal — useful as an initial
 // k and in tests; the tracker itself discovers this point by perturbation.
+//
+// unit: ratio
 func (c *Circuit) MatchedRatio(env pv.Env) float64 {
 	mpp := c.Gen.MPP(env)
 	if mpp.V <= 0 {

@@ -43,14 +43,20 @@ func (c *Converter) Validate() error {
 }
 
 // LoadVoltage returns the load-side voltage for a panel-side voltage.
+//
+// unit: vPanel=V, return=V
 func (c *Converter) LoadVoltage(vPanel float64) float64 { return vPanel / c.K }
 
 // PanelVoltage returns the panel-side voltage for a load-side voltage.
+//
+// unit: vLoad=V, return=V
 func (c *Converter) PanelVoltage(vLoad float64) float64 { return vLoad * c.K }
 
 // LoadCurrent returns the load-side current for a panel-side current, with
 // the conversion loss charged to the current path so that power is
 // conserved up to Efficiency.
+//
+// unit: iPanel=A, return=A
 func (c *Converter) LoadCurrent(iPanel float64) float64 {
 	return c.K * iPanel * c.Efficiency
 }
@@ -71,6 +77,8 @@ func (c *Converter) Step(n int) bool {
 }
 
 // SetRatio sets k directly, clamped to the tuning range.
+//
+// unit: k=ratio
 func (c *Converter) SetRatio(k float64) {
 	if k < c.KMin {
 		k = c.KMin
@@ -89,4 +97,6 @@ type Reading struct {
 }
 
 // Power returns the sensed power V·I.
+//
+// unit: W
 func (r Reading) Power() float64 { return r.V * r.I }

@@ -7,17 +7,27 @@ package pv
 // the load interchangeably.
 type Generator interface {
 	// Current returns output current (A) at terminal voltage v (V) under env.
+	//
+	// unit: v=V, return=A
 	Current(env Env, v float64) float64
 	// Power returns output power (W) at terminal voltage v under env.
+	//
+	// unit: v=V, return=W
 	Power(env Env, v float64) float64
 	// OpenCircuitVoltage returns Voc (V) under env.
+	//
+	// unit: V
 	OpenCircuitVoltage(env Env) float64
 	// ShortCircuitCurrent returns Isc (A) under env.
+	//
+	// unit: A
 	ShortCircuitCurrent(env Env) float64
 	// MPP returns the maximum power point under env.
 	MPP(env Env) MPP
 	// ResistiveOperating returns the terminal voltage and current where the
 	// I-V curve intersects a resistive load line I = V/R.
+	//
+	// unit: r=Ω, v=V, i=A
 	ResistiveOperating(env Env, r float64) (v, i float64)
 }
 
@@ -48,11 +58,15 @@ func NewArray(p ModuleParams, series, parallel int) *Array {
 }
 
 // Current returns the array output current at terminal voltage v under env.
+//
+// unit: v=V, return=A
 func (a *Array) Current(env Env, v float64) float64 {
 	return float64(a.Parallel) * a.Module.Current(env, v/float64(a.Series))
 }
 
 // Power returns the array output power at terminal voltage v under env.
+//
+// unit: v=V, return=W
 func (a *Array) Power(env Env, v float64) float64 {
 	if v <= 0 {
 		return 0
@@ -61,11 +75,15 @@ func (a *Array) Power(env Env, v float64) float64 {
 }
 
 // OpenCircuitVoltage returns the array Voc under env.
+//
+// unit: V
 func (a *Array) OpenCircuitVoltage(env Env) float64 {
 	return float64(a.Series) * a.Module.OpenCircuitVoltage(env)
 }
 
 // ShortCircuitCurrent returns the array Isc under env.
+//
+// unit: A
 func (a *Array) ShortCircuitCurrent(env Env) float64 {
 	return float64(a.Parallel) * a.Module.ShortCircuitCurrent(env)
 }
@@ -73,6 +91,8 @@ func (a *Array) ShortCircuitCurrent(env Env) float64 {
 // ResistiveOperating returns the array-level resistive operating point. A
 // load R at the array terminals presents each module with the resistance
 // R·Parallel/Series (the string divides voltage, the bank divides current).
+//
+// unit: r=Ω, v=V, i=A
 func (a *Array) ResistiveOperating(env Env, r float64) (v, i float64) {
 	rm := r * float64(a.Parallel) / float64(a.Series)
 	mv, mi := a.Module.ResistiveOperating(env, rm)

@@ -33,6 +33,8 @@ func IVCurve(g Generator, env Env, n int) []IVPoint {
 // The operating point is the intersection of the generator I-V curve with
 // the load line I = V/R, found by bisection on f(V) = I_gen(V) − V/R, which
 // is strictly decreasing over [0, Voc].
+//
+// unit: r=Ω, return=ratio
 func UtilizationAtFixedLoad(g Generator, env Env, r float64) float64 {
 	mpp := g.MPP(env)
 	if mpp.P <= 0 || r <= 0 {
@@ -44,6 +46,8 @@ func UtilizationAtFixedLoad(g Generator, env Env, r float64) float64 {
 
 // OperatingVoltageResistive returns the terminal voltage at which the
 // generator I-V curve intersects a resistive load line I = V/R.
+//
+// unit: r=Ω, return=V
 func OperatingVoltageResistive(g Generator, env Env, r float64) float64 {
 	if r <= 0 {
 		return 0

@@ -25,6 +25,8 @@ func NewModule(p ModuleParams) *Module {
 
 // photocurrent returns Iph under env: proportional to irradiance with a
 // linear temperature coefficient.
+//
+// unit: A
 func (m *Module) photocurrent(env Env) float64 {
 	if env.Irradiance <= 0 {
 		return 0
@@ -34,6 +36,8 @@ func (m *Module) photocurrent(env Env) float64 {
 
 // saturationCurrent returns the diode reverse saturation current I0 at the
 // env cell temperature: I0ref·(T/Tref)³·exp(qEg/(nk)·(1/Tref − 1/T)).
+//
+// unit: A
 func (m *Module) saturationCurrent(env Env) float64 {
 	t := kelvin(env.CellTemp)
 	tr := kelvin(TRef)
@@ -44,6 +48,8 @@ func (m *Module) saturationCurrent(env Env) float64 {
 
 // OpenCircuitVoltage returns Voc under env. At I = 0 the series resistance
 // drops out, so Voc has the closed form NsVt·ln(Iph/I0 + 1).
+//
+// unit: V
 func (m *Module) OpenCircuitVoltage(env Env) float64 {
 	iph := m.photocurrent(env)
 	if iph <= 0 {
@@ -54,6 +60,8 @@ func (m *Module) OpenCircuitVoltage(env Env) float64 {
 }
 
 // ShortCircuitCurrent returns Isc under env (terminal voltage zero).
+//
+// unit: A
 func (m *Module) ShortCircuitCurrent(env Env) float64 {
 	return m.Current(env, 0)
 }
@@ -66,6 +74,8 @@ func (m *Module) ShortCircuitCurrent(env Env) float64 {
 // For v at or above the open-circuit voltage the result is clamped to 0: the
 // blocking diode of a direct-coupled system prevents the module from sinking
 // current.
+//
+// unit: v=V, return=A
 func (m *Module) Current(env Env, v float64) float64 {
 	iph := m.photocurrent(env)
 	if iph <= 0 {
@@ -103,6 +113,8 @@ func (m *Module) Current(env Env, v float64) float64 {
 // form, V = NsVt·ln((Iph − I)/I0 + 1) − I·Rs. ok is false when the module
 // cannot source i at any forward voltage (i ≥ Iph + I0) — in a series
 // string that is when its bypass diode must conduct.
+//
+// unit: i=A, v=V
 func (m *Module) VoltageAt(env Env, i float64) (v float64, ok bool) {
 	iph := m.photocurrent(env)
 	i0 := m.saturationCurrent(env)
@@ -118,6 +130,8 @@ func (m *Module) VoltageAt(env Env, i float64) (v float64, ok bool) {
 }
 
 // Power returns the module output power V·I(V) at terminal voltage v.
+//
+// unit: v=V, return=W
 func (m *Module) Power(env Env, v float64) float64 {
 	if v <= 0 {
 		return 0
@@ -135,6 +149,8 @@ func (m *Module) Power(env Env, v float64) float64 {
 // which is strictly decreasing and bracketed by [0, Voc], so the guarded
 // Newton converges in a handful of iterations. This is the hot path of the
 // circuit simulation.
+//
+// unit: r=Ω, v=V, i=A
 func (m *Module) ResistiveOperating(env Env, r float64) (v, i float64) {
 	voc := m.OpenCircuitVoltage(env)
 	if voc <= 0 {

@@ -17,6 +17,8 @@ const (
 )
 
 // kelvin converts a Celsius temperature to Kelvin.
+//
+// unit: celsius=°C, return=K
 func kelvin(celsius float64) float64 { return celsius + 273.15 }
 
 // Standard test conditions used as the calibration reference.
@@ -70,14 +72,25 @@ type Env struct {
 // STC is the standard test condition: 1000 W/m² at 25 °C cell temperature.
 var STC = Env{Irradiance: GRef, CellTemp: TRef}
 
+// noctIrradiance is the irradiance at which NOCT is specified (the
+// denominator of the standard NOCT model).
+const noctIrradiance = 800.0 // unit: W/m²
+
+// noctAmbient is the ambient temperature at which NOCT is specified.
+const noctAmbient = 20.0 // unit: °C
+
 // CellTemperature estimates cell temperature from ambient temperature and
 // irradiance with the standard NOCT model: Tcell = Tamb + (NOCT-20)/800·G.
+//
+// unit: ambientC=°C, irradiance=W/m², return=°C
 func (p ModuleParams) CellTemperature(ambientC, irradiance float64) float64 {
-	return ambientC + (p.NOCT-20)/800*irradiance
+	return ambientC + (p.NOCT-noctAmbient)/noctIrradiance*irradiance
 }
 
 // thermalVoltage returns the module-level thermal voltage n·k·T/q·Ns at cell
 // temperature tC (°C).
+//
+// unit: tC=°C, return=V
 func (p ModuleParams) thermalVoltage(tC float64) float64 {
 	return p.IdealityN * kB * kelvin(tC) / q * float64(p.CellsInSeries)
 }

@@ -61,6 +61,8 @@ func (s *ShadedString) moduleEnv(env Env, m int) Env {
 // stringVoltage returns the string terminal voltage at common current i:
 // the sum of per-module voltages, with bypassed modules contributing the
 // negative diode drop. It is strictly decreasing in i.
+//
+// unit: i=A, return=V
 func (s *ShadedString) stringVoltage(env Env, i float64) float64 {
 	sum := 0.0
 	for m := range s.Scales {
@@ -75,6 +77,8 @@ func (s *ShadedString) stringVoltage(env Env, i float64) float64 {
 
 // maxCurrent returns the largest photocurrent in the string — the upper
 // bound of the string current.
+//
+// unit: A
 func (s *ShadedString) maxCurrent(env Env) float64 {
 	imax := 0.0
 	for m := range s.Scales {
@@ -87,6 +91,8 @@ func (s *ShadedString) maxCurrent(env Env) float64 {
 
 // OpenCircuitVoltage returns the string Voc: the sum of module Vocs (no
 // bypass conducts at zero current).
+//
+// unit: V
 func (s *ShadedString) OpenCircuitVoltage(env Env) float64 {
 	sum := 0.0
 	for m := range s.Scales {
@@ -97,6 +103,8 @@ func (s *ShadedString) OpenCircuitVoltage(env Env) float64 {
 
 // Current returns the string current at terminal voltage v, solving the
 // monotone stringVoltage relation by bisection.
+//
+// unit: v=V, return=A
 func (s *ShadedString) Current(env Env, v float64) float64 {
 	imax := s.maxCurrent(env)
 	if imax <= 0 {
@@ -122,6 +130,8 @@ func (s *ShadedString) Current(env Env, v float64) float64 {
 }
 
 // Power returns the string output power at terminal voltage v.
+//
+// unit: v=V, return=W
 func (s *ShadedString) Power(env Env, v float64) float64 {
 	if v <= 0 {
 		return 0
@@ -130,6 +140,8 @@ func (s *ShadedString) Power(env Env, v float64) float64 {
 }
 
 // ShortCircuitCurrent returns the string current at zero terminal voltage.
+//
+// unit: A
 func (s *ShadedString) ShortCircuitCurrent(env Env) float64 {
 	return s.Current(env, 0)
 }
@@ -137,6 +149,8 @@ func (s *ShadedString) ShortCircuitCurrent(env Env) float64 {
 // ResistiveOperating returns the intersection of the string characteristic
 // with the load line I = V/R, which is unique because stringVoltage is
 // monotone in the current.
+//
+// unit: r=Ω, v=V, i=A
 func (s *ShadedString) ResistiveOperating(env Env, r float64) (v, i float64) {
 	imax := s.maxCurrent(env)
 	if imax <= 0 {

@@ -28,6 +28,8 @@ func NewTwoDiodeModule(p ModuleParams) *TwoDiodeModule {
 }
 
 // i02 returns the recombination diode's saturation current under env.
+//
+// unit: A
 func (m *TwoDiodeModule) i02(env Env) float64 {
 	return m.I02Frac * m.saturationCurrent(env)
 }
@@ -37,6 +39,8 @@ func (m *TwoDiodeModule) i02(env Env) float64 {
 //	I = Iph − I01·(e^(Vd/NsVt) − 1) − I02·(e^(Vd/(2·NsVt)) − 1),  Vd = V + I·Rs,
 //
 // by guarded Newton on I, clamped at zero (blocking diode).
+//
+// unit: v=V, return=A
 func (m *TwoDiodeModule) Current(env Env, v float64) float64 {
 	i, ok := m.rawCurrent(env, v)
 	if !ok || i < 0 {
@@ -47,6 +51,8 @@ func (m *TwoDiodeModule) Current(env Env, v float64) float64 {
 
 // rawCurrent is Current without the blocking-diode clamp, for the Voc
 // solve which needs the curve's true zero crossing.
+//
+// unit: v=V, return=A
 func (m *TwoDiodeModule) rawCurrent(env Env, v float64) (float64, bool) {
 	iph := m.photocurrent(env)
 	if iph <= 0 {
@@ -74,6 +80,8 @@ func (m *TwoDiodeModule) rawCurrent(env Env, v float64) (float64, bool) {
 
 // OpenCircuitVoltage solves Current(V) = 0 for the two-diode curve (no
 // closed form once the second diode participates).
+//
+// unit: V
 func (m *TwoDiodeModule) OpenCircuitVoltage(env Env) float64 {
 	if m.photocurrent(env) <= 0 {
 		return 0
@@ -92,6 +100,8 @@ func (m *TwoDiodeModule) OpenCircuitVoltage(env Env) float64 {
 }
 
 // Power returns V·I(V) on the two-diode curve.
+//
+// unit: v=V, return=W
 func (m *TwoDiodeModule) Power(env Env, v float64) float64 {
 	if v <= 0 {
 		return 0
@@ -113,12 +123,16 @@ func (m *TwoDiodeModule) MPP(env Env) MPP {
 }
 
 // ShortCircuitCurrent returns the current at zero terminal voltage.
+//
+// unit: A
 func (m *TwoDiodeModule) ShortCircuitCurrent(env Env) float64 {
 	return m.Current(env, 0)
 }
 
 // ResistiveOperating intersects the two-diode curve with a load line by
 // bisection on voltage (the curve is monotone decreasing in current).
+//
+// unit: r=Ω, v=V, i=A
 func (m *TwoDiodeModule) ResistiveOperating(env Env, r float64) (v, i float64) {
 	voc := m.OpenCircuitVoltage(env)
 	if voc <= 0 {

@@ -25,8 +25,10 @@ type Config struct {
 	TauMin float64
 	// TMaxC is the throttle trip point, °C; the core re-arms once it has
 	// cooled THystC degrees °C below the trip point.
-	TMaxC  float64 // °C
-	THystC float64 // °C
+	TMaxC float64 // °C
+	// THystC is the re-arm hysteresis width below the trip point: a
+	// temperature difference in K, not an absolute reading.
+	THystC float64
 }
 
 // DefaultConfig returns 90 nm server-class values: ~1.8 °C/W to ambient,
@@ -41,7 +43,7 @@ func (c Config) Validate() error {
 	if c.RjaCPerW <= 0 || c.TauMin <= 0 {
 		return fmt.Errorf("thermal: resistance and time constant must be positive")
 	}
-	if c.TMaxC <= 0 || c.THystC < 0 || c.THystC >= c.TMaxC {
+	if c.TMaxC <= 0 || c.THystC < 0 || c.TMaxC-c.THystC <= 0 {
 		return fmt.Errorf("thermal: invalid trip point / hysteresis")
 	}
 	return nil
@@ -51,13 +53,15 @@ func (c Config) Validate() error {
 type Model struct {
 	cfg       Config
 	chip      *mcore.Chip
-	tempC     []float64
+	tempC     []float64 // unit: °C
 	throttled []bool
 	events    int
-	peakC     float64
+	peakC     float64 // unit: °C
 }
 
 // NewModel builds a model with every core at the given ambient.
+//
+// unit: ambientC=°C
 func NewModel(chip *mcore.Chip, cfg Config, ambientC float64) (*Model, error) {
 	if chip == nil {
 		return nil, fmt.Errorf("thermal: chip required")
@@ -79,9 +83,13 @@ func NewModel(chip *mcore.Chip, cfg Config, ambientC float64) (*Model, error) {
 }
 
 // Temp returns a core's current die temperature (°C).
+//
+// unit: °C
 func (m *Model) Temp(core int) float64 { return m.tempC[core] }
 
 // MaxTemp returns the hottest core's temperature.
+//
+// unit: °C
 func (m *Model) MaxTemp() float64 {
 	max := math.Inf(-1)
 	for _, t := range m.tempC {
@@ -97,10 +105,14 @@ func (m *Model) ThrottleEvents() int { return m.events }
 
 // Peak returns the hottest temperature any core has reached since the
 // model was built (the day's thermal high-water mark).
+//
+// unit: °C
 func (m *Model) Peak() float64 { return m.peakC }
 
 // SteadyState returns the equilibrium temperature for a power level at an
 // ambient: Tamb + P·Rja.
+//
+// unit: powerW=W, ambientC=°C, return=°C
 func (m *Model) SteadyState(powerW, ambientC float64) float64 {
 	return ambientC + powerW*m.cfg.RjaCPerW
 }
@@ -109,6 +121,8 @@ func (m *Model) SteadyState(powerW, ambientC float64) float64 {
 // chip's present power, then applies the throttle governor: any core over
 // TMax is stepped down one operating point (one intervention per call);
 // a throttled core re-arms below TMax − THyst.
+//
+// unit: minute=min, dtMin=min, ambientC=°C
 func (m *Model) Advance(minute, dtMin, ambientC float64) {
 	decay := math.Exp(-dtMin / m.cfg.TauMin)
 	for i := range m.tempC {

@@ -22,7 +22,7 @@ go vet ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race (exp, sim, dc)'
-go test -race ./internal/exp ./internal/sim ./internal/dc
+echo '== go test -race (exp, sim, dc, lint)'
+go test -race ./internal/exp ./internal/sim ./internal/dc ./internal/lint
 
 echo 'OK'
