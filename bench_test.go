@@ -193,6 +193,52 @@ func BenchmarkDaySimulation(b *testing.B) {
 	}
 }
 
+// benchRunner builds the standard day/mix Runner used by the observer
+// overhead pair below.
+func benchRunner(b *testing.B, opts ...solarcore.RunnerOption) *solarcore.Runner {
+	b.Helper()
+	trace := solarcore.GenerateWeather(solarcore.AZ, solarcore.Jul, 0)
+	day, err := solarcore.NewDay(trace, solarcore.BP3180N(), 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix, err := solarcore.MixByName("ML2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := solarcore.NewRunner(solarcore.Config{Day: day, Mix: mix}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkRunMPPT is the no-observer baseline for the hook overhead
+// budget (compare against BenchmarkRunMPPTNopObserver).
+func BenchmarkRunMPPT(b *testing.B) {
+	r := benchRunner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunMPPTNopObserver runs the same day with the no-op observer
+// attached, exercising the full hook path (run/track/alloc/tick events
+// are built and dispatched, then discarded). DESIGN.md §10 budgets this
+// at under 5% over BenchmarkRunMPPT.
+func BenchmarkRunMPPTNopObserver(b *testing.B) {
+	r := benchRunner(b, solarcore.WithObserver(solarcore.NopObserver()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkWeatherGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -6,20 +6,45 @@
 // Usage:
 //
 //	solarfleet [-nodes 4] [-panels 4] [-site AZ] [-season Apr] \
-//	           [-overhead 25] [-cap 0] [-step 1]
+//	           [-overhead 25] [-cap 0] [-step 1] [-metrics]
+//
+// -metrics builds one metrics registry per node from the day's per-node
+// results, merges the snapshots across the fleet (obs.MergeSnapshots) and
+// prints the aggregate as JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"solarcore/internal/atmos"
 	"solarcore/internal/dc"
+	"solarcore/internal/obs"
 	"solarcore/internal/pv"
 	"solarcore/internal/sim"
 	"solarcore/internal/workload"
 )
+
+// fleetMetrics folds each node's share of the day into its own registry
+// (as a per-node agent would) and merges the snapshots into one fleet
+// aggregate: counters sum across nodes, per-node gauges keep their
+// distinct names, and the active-minutes histogram pools every node.
+func fleetMetrics(res dc.DayResult) obs.Snapshot {
+	snaps := make([]obs.Snapshot, 0, len(res.PerNode))
+	for _, n := range res.PerNode {
+		reg := obs.NewRegistry()
+		reg.Add("node_solar_wh_total", n.SolarWh)
+		reg.Add("node_ginstr_solar_total", n.GInstrSolar)
+		reg.Add("node_active_min_total", n.ActiveMin)
+		reg.Set("node_active_min{node="+n.Name+"}", n.ActiveMin)
+		reg.Set("node_solar_wh{node="+n.Name+"}", n.SolarWh)
+		reg.Observe("node_active_min", n.ActiveMin)
+		snaps = append(snaps, reg.Snapshot())
+	}
+	return obs.MergeSnapshots(snaps...)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -34,6 +59,7 @@ func main() {
 	step := flag.Float64("step", 1, "sub-sampling step in minutes")
 	day := flag.Int("day", 0, "weather day index")
 	fair := flag.Bool("fair", false, "show the fair-share baseline allocation at midday too")
+	metrics := flag.Bool("metrics", false, "print merged per-node metrics snapshots as JSON")
 	flag.Parse()
 
 	site, err := atmos.SiteByCode(*siteCode)
@@ -78,6 +104,13 @@ func main() {
 	fmt.Printf("performance  : %.0f giga-instructions on solar\n", res.GInstrSolar)
 	fmt.Printf("solar time   : %.1f%% of daytime\n", 100*res.SolarMin/res.DaytimeMin)
 	fmt.Printf("consolidation: %.2f nodes active on average (of %d)\n", res.MeanActiveNodes, *nodes)
+
+	if *metrics {
+		fmt.Println("\nfleet metrics (merged across nodes):")
+		if err := fleetMetrics(res).WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *fair {
 		fairCluster, err := dc.New(dc.Config{

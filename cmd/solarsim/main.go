@@ -4,16 +4,21 @@
 // Usage:
 //
 //	solarsim [-site AZ] [-season Jul] [-mix HM2] [-policy MPPT&Opt] \
-//	         [-day 0] [-step 1] [-fixed watts] [-battery U|L] [-series]
+//	         [-day 0] [-step 1] [-fixed watts] [-battery U|L] [-series] \
+//	         [-trace out.jsonl] [-metrics]
 //
 // -fixed and -battery select the baseline runners instead of an MPPT
 // policy. -series prints the per-minute budget/actual trace as CSV.
+// -trace streams every simulation event (tracking periods, DVFS
+// reallocations, sub-sample ticks) to a JSONL file in the DESIGN.md §10
+// schema; -metrics prints the aggregated metrics registry as JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -41,6 +46,8 @@ func main() {
 	mount := flag.String("mount", "fixed", "panel mount: fixed or tracker (single-axis)")
 	shade := flag.String("shade", "", "comma-separated per-bypass-group irradiance scales, e.g. 1,0.3,1")
 	tmax := flag.Float64("tmax", 0, "thermal trip point in °C (0 = unconstrained)")
+	tracePath := flag.String("trace", "", "stream simulation events to this JSONL file")
+	metrics := flag.Bool("metrics", false, "print the aggregated metrics registry as JSON after the run")
 	flag.Parse()
 
 	site, err := atmos.SiteByCode(*siteCode)
@@ -94,6 +101,60 @@ func main() {
 		cfg.Thermal = &tc
 	}
 
+	// Observability: -trace streams JSONL events, -metrics folds the same
+	// events into a registry printed after the run.
+	var opts []solarcore.RunnerOption
+	var sink *solarcore.JSONLSink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		sink = solarcore.NewJSONLSink(f)
+		opts = append(opts, solarcore.WithObserver(sink))
+	}
+	var reg *solarcore.Registry
+	if *metrics {
+		reg = solarcore.NewRegistry()
+		opts = append(opts, solarcore.WithObserver(solarcore.MetricsObserver(reg)))
+	}
+	finish := func() {
+		if sink != nil {
+			if err := sink.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if reg != nil {
+			fmt.Println()
+			fmt.Println("metrics:")
+			if err := reg.Snapshot().WriteJSON(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	switch {
+	case *fixed > 0:
+		opts = append(opts, solarcore.WithFixedBudget(*fixed))
+	case *battery == "U":
+		opts = append(opts, solarcore.WithBattery(solarcore.BatteryUpperEff))
+	case *battery == "L":
+		opts = append(opts, solarcore.WithBattery(solarcore.BatteryLowerEff))
+	case *battery != "":
+		log.Fatalf("unknown battery bracket %q (want U or L)", *battery)
+	default:
+		opts = append(opts, solarcore.WithPolicy(*policy))
+	}
+	runner, err := solarcore.NewRunner(cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *days > 1 {
 		if *fixed > 0 || *battery != "" {
 			log.Fatal("-days applies to MPPT policies only")
@@ -107,7 +168,7 @@ func main() {
 			}
 			solarDays = append(solarDays, d)
 		}
-		sr, err := solarcore.RunSeries(cfg, *policy, solarDays)
+		sr, err := runner.RunSeries(solarDays)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -117,22 +178,11 @@ func main() {
 		fmt.Printf("solar energy : %.0f Wh total\n", sr.TotalSolarWh())
 		fmt.Printf("performance  : %.0f giga-instructions total (PTP)\n", sr.TotalPTP())
 		fmt.Printf("tracking err : %.1f%% pooled geometric mean\n", sr.TrackErrGeoMean()*100)
+		finish()
 		return
 	}
 
-	var res *solarcore.DayResult
-	switch {
-	case *fixed > 0:
-		res, err = solarcore.RunFixedPower(cfg, *fixed)
-	case *battery == "U":
-		res, err = solarcore.RunBattery(cfg, solarcore.BatteryUpperEff)
-	case *battery == "L":
-		res, err = solarcore.RunBattery(cfg, solarcore.BatteryLowerEff)
-	case *battery != "":
-		log.Fatalf("unknown battery bracket %q (want U or L)", *battery)
-	default:
-		res, err = solarcore.Run(cfg, *policy)
-	}
+	res, err := runner.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -159,4 +209,5 @@ func main() {
 			fmt.Printf("%.1f,%.2f,%.2f,%t\n", p.Minute, p.BudgetW, p.ActualW, p.OnSolar)
 		}
 	}
+	finish()
 }

@@ -30,12 +30,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 4. Run one day under SolarCore power management.
-	res, err := solarcore.Run(solarcore.Config{Day: day, Mix: mix}, solarcore.PolicyOpt)
+	// 4. Run one day under SolarCore power management. A metrics registry
+	// rides along as an observer to show the intra-day accounting.
+	reg := solarcore.NewRegistry()
+	runner, err := solarcore.NewRunner(solarcore.Config{Day: day, Mix: mix},
+		solarcore.WithPolicy(solarcore.PolicyOpt),
+		solarcore.WithObserver(solarcore.MetricsObserver(reg)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := runner.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	snap := reg.Snapshot()
+	fmt.Printf("tracking periods         : %.0f (%.0f DVFS reallocations)\n",
+		snap.Counters["tracks_total"], snap.Counters["allocs_total"])
 	fmt.Printf("green-energy utilization : %.1f%%\n", res.Utilization()*100)
 	fmt.Printf("effective solar duration : %.1f%% of daytime\n", res.EffectiveDuration()*100)
 	fmt.Printf("tracking error (geomean) : %.1f%%\n", res.TrackErrGeoMean()*100)

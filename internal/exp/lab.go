@@ -6,11 +6,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"solarcore/internal/atmos"
+	"solarcore/internal/obs"
 	"solarcore/internal/power"
 	"solarcore/internal/pv"
 	"solarcore/internal/sched"
@@ -54,21 +57,46 @@ func (o Options) Mixes() []workload.Mix {
 // FixedBudgets is the power-transfer threshold sweep of Figures 15-17 (W).
 var FixedBudgets = []float64{25, 50, 75, 100, 125}
 
+// Metric names the Lab maintains in its registry (DESIGN.md §10).
+const (
+	// MetricLabHits / MetricLabMisses count grid-cell cache hits and
+	// misses across the Lab's run methods.
+	MetricLabHits   = "lab_cache_hits_total"
+	MetricLabMisses = "lab_cache_misses_total"
+	// MetricLabCellMs is a histogram of per-cell simulation wall time in
+	// milliseconds (cache misses only — hits cost no simulation).
+	MetricLabCellMs = "lab_cell_wall_ms"
+	// MetricLabDays counts solar days materialized (weather synthesis +
+	// MPP profile precomputation).
+	MetricLabDays = "lab_days_built_total"
+)
+
 // Lab caches solar days and simulation runs so that the many experiments
 // sharing the site × season × mix × policy grid compute each run once. All
-// methods are safe for concurrent use.
+// methods are safe for concurrent use. The lab keeps an obs.Registry of
+// cache hit/miss counters and per-cell wall-time histograms; Metrics
+// exports it.
 type Lab struct {
 	Opts Options
 
 	mu   sync.Mutex
 	days map[string]*sim.SolarDay
 	runs map[string]*sim.DayResult
+	reg  *obs.Registry
 }
 
 // NewLab builds an empty lab.
 func NewLab(opts Options) *Lab {
-	return &Lab{Opts: opts, days: map[string]*sim.SolarDay{}, runs: map[string]*sim.DayResult{}}
+	return &Lab{
+		Opts: opts,
+		days: map[string]*sim.SolarDay{},
+		runs: map[string]*sim.DayResult{},
+		reg:  obs.NewRegistry(),
+	}
 }
+
+// Metrics exports the lab's cache and wall-time metrics.
+func (l *Lab) Metrics() obs.Snapshot { return l.reg.Snapshot() }
 
 // Day returns the (cached) solar day for a site and season: the synthetic
 // weather trace bound to one BP3180N module.
@@ -86,6 +114,7 @@ func (l *Lab) Day(site atmos.Site, season atmos.Season) *sim.SolarDay {
 	if err != nil {
 		panic(fmt.Sprintf("exp: building solar day %s: %v", key, err))
 	}
+	l.reg.Add(MetricLabDays, 1)
 	l.mu.Lock()
 	l.days[key] = d
 	l.mu.Unlock()
@@ -105,6 +134,21 @@ func (l *Lab) store(key string, r *sim.DayResult) {
 	l.runs[key] = r
 }
 
+// cell serves one grid cell through the cache, recording the hit/miss
+// and — on a miss — the simulation wall time.
+func (l *Lab) cell(key string, run func() *sim.DayResult) *sim.DayResult {
+	if r, ok := l.cached(key); ok {
+		l.reg.Add(MetricLabHits, 1)
+		return r
+	}
+	l.reg.Add(MetricLabMisses, 1)
+	start := time.Now()
+	r := run()
+	l.reg.Observe(MetricLabCellMs, time.Since(start).Seconds()*1000)
+	l.store(key, r)
+	return r
+}
+
 func (l *Lab) config(site atmos.Site, season atmos.Season, mix workload.Mix, keepSeries bool) sim.Config {
 	return sim.Config{
 		Day:        l.Day(site, season),
@@ -117,19 +161,17 @@ func (l *Lab) config(site atmos.Site, season atmos.Season, mix workload.Mix, kee
 // MPPT runs (or recalls) a SolarCore day under the named Table 6 policy.
 func (l *Lab) MPPT(site atmos.Site, season atmos.Season, mix workload.Mix, policy string) *sim.DayResult {
 	key := fmt.Sprintf("%s|%s|%s|%s", site.Code, season, mix.Name, policy)
-	if r, ok := l.cached(key); ok {
+	return l.cell(key, func() *sim.DayResult {
+		alloc, ok := sched.ByName(policy)
+		if !ok {
+			panic("exp: unknown MPPT policy " + policy)
+		}
+		r, err := sim.RunMPPT(l.config(site, season, mix, false), alloc)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %s: %v", key, err))
+		}
 		return r
-	}
-	alloc, ok := sched.ByName(policy)
-	if !ok {
-		panic("exp: unknown MPPT policy " + policy)
-	}
-	r, err := sim.RunMPPT(l.config(site, season, mix, false), alloc)
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s: %v", key, err))
-	}
-	l.store(key, r)
-	return r
+	})
 }
 
 // MPPTSeries is MPPT with the per-minute budget/actual trace retained (for
@@ -149,30 +191,26 @@ func (l *Lab) MPPTSeries(site atmos.Site, season atmos.Season, mix workload.Mix,
 // Fixed runs (or recalls) a Fixed-Power day at the given budget.
 func (l *Lab) Fixed(site atmos.Site, season atmos.Season, mix workload.Mix, budgetW float64) *sim.DayResult {
 	key := fmt.Sprintf("%s|%s|%s|fixed%g", site.Code, season, mix.Name, budgetW)
-	if r, ok := l.cached(key); ok {
+	return l.cell(key, func() *sim.DayResult {
+		r, err := sim.RunFixed(l.config(site, season, mix, false), budgetW)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %s: %v", key, err))
+		}
 		return r
-	}
-	r, err := sim.RunFixed(l.config(site, season, mix, false), budgetW)
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s: %v", key, err))
-	}
-	l.store(key, r)
-	return r
+	})
 }
 
 // Battery runs (or recalls) a battery-baseline day at the given overall
 // conversion efficiency.
 func (l *Lab) Battery(site atmos.Site, season atmos.Season, mix workload.Mix, eff float64) *sim.DayResult {
 	key := fmt.Sprintf("%s|%s|%s|bat%g", site.Code, season, mix.Name, eff)
-	if r, ok := l.cached(key); ok {
+	return l.cell(key, func() *sim.DayResult {
+		r, err := sim.RunBattery(l.config(site, season, mix, false), eff)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %s: %v", key, err))
+		}
 		return r
-	}
-	r, err := sim.RunBattery(l.config(site, season, mix, false), eff)
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s: %v", key, err))
-	}
-	l.store(key, r)
-	return r
+	})
 }
 
 // MPPTPolicies lists the Table 6 tracking policies in the paper's order.
@@ -181,8 +219,10 @@ var MPPTPolicies = []string{"MPPT&IC", "MPPT&RR", "MPPT&Opt"}
 // BatteryEffs lists the Section 6.4 battery comparison brackets.
 var BatteryEffs = []float64{power.BatteryUpperEff, power.BatteryLowerEff}
 
-// parallel runs fn(i) for i in [0,n) on all cores and waits.
-func parallel(n int, fn func(i int)) {
+// parallelCtx runs fn(i) for i in [0,n) on all cores and waits. A
+// cancellation on ctx stops feeding new jobs (in-flight ones finish) and
+// the wrapped context error is returned.
+func parallelCtx(ctx context.Context, n int, fn func(i int)) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -201,16 +241,31 @@ func parallel(n int, fn func(i int)) {
 			}
 		}()
 	}
+	var err error
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()
+	return err
 }
 
 // Prefetch computes the full MPPT policy grid (site × season × mix ×
 // policy) in parallel so that subsequent figure calls hit the cache.
 func (l *Lab) Prefetch() {
+	_ = l.PrefetchContext(context.Background())
+}
+
+// PrefetchContext is Prefetch under a cancellation context: when ctx is
+// canceled the sweep stops scheduling new cells (already-running ones
+// complete and stay cached) and the wrapped context error is returned.
+func (l *Lab) PrefetchContext(ctx context.Context) error {
 	type job struct {
 		site   atmos.Site
 		season atmos.Season
@@ -220,6 +275,9 @@ func (l *Lab) Prefetch() {
 	var jobs []job
 	for _, site := range atmos.Sites {
 		for _, season := range atmos.Seasons {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("exp: prefetch canceled: %w", err)
+			}
 			// Materialize days serially first: cheap, avoids duplicate work.
 			l.Day(site, season)
 			for _, mix := range l.Opts.Mixes() {
@@ -229,8 +287,11 @@ func (l *Lab) Prefetch() {
 			}
 		}
 	}
-	parallel(len(jobs), func(i int) {
+	if err := parallelCtx(ctx, len(jobs), func(i int) {
 		j := jobs[i]
 		l.MPPT(j.site, j.season, j.mix, j.policy)
-	})
+	}); err != nil {
+		return fmt.Errorf("exp: prefetch canceled: %w", err)
+	}
+	return nil
 }

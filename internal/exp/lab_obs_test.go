@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"solarcore/internal/atmos"
+)
+
+// TestLabMetrics checks the lab accounts cache traffic: a cold cell is a
+// miss with a wall-time sample, a warm cell is a hit.
+func TestLabMetrics(t *testing.T) {
+	lab := NewLab(Options{Quick: true})
+	mix := lab.Opts.Mixes()[0]
+
+	lab.MPPT(atmos.AZ, atmos.Jul, mix, "MPPT&Opt")
+	lab.MPPT(atmos.AZ, atmos.Jul, mix, "MPPT&Opt")
+	lab.Fixed(atmos.AZ, atmos.Jul, mix, 75)
+
+	snap := lab.Metrics()
+	if got := snap.Counters[MetricLabMisses]; got != 2 {
+		t.Errorf("misses = %v, want 2", got)
+	}
+	if got := snap.Counters[MetricLabHits]; got != 1 {
+		t.Errorf("hits = %v, want 1", got)
+	}
+	if got := snap.Counters[MetricLabDays]; got != 1 {
+		t.Errorf("days built = %v, want 1", got)
+	}
+	h, ok := snap.Histograms[MetricLabCellMs]
+	if !ok || h.Count != 2 {
+		t.Fatalf("cell wall-time histogram = %+v, want 2 samples", h)
+	}
+	if h.Sum <= 0 {
+		t.Errorf("cell wall time sum = %v, want positive", h.Sum)
+	}
+}
+
+// TestPrefetchContextCanceled checks a pre-canceled context stops the
+// sweep before any simulation and returns the wrapped context error.
+func TestPrefetchContextCanceled(t *testing.T) {
+	lab := NewLab(Options{Quick: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := lab.PrefetchContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	snap := lab.Metrics()
+	if snap.Counters[MetricLabMisses] != 0 {
+		t.Errorf("canceled prefetch still simulated %v cells", snap.Counters[MetricLabMisses])
+	}
+}
+
+// TestPrefetchContextCompletes checks the context-free wrapper still
+// fills the grid.
+func TestPrefetchContextCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-grid prefetch")
+	}
+	lab := NewLab(Options{Quick: true, StepMin: 4})
+	if err := lab.PrefetchContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := lab.Metrics()
+	want := float64(len(atmos.Sites) * len(atmos.Seasons) * len(lab.Opts.Mixes()) * len(MPPTPolicies))
+	if got := snap.Counters[MetricLabMisses]; got != want {
+		t.Errorf("prefetch misses = %v, want %v", got, want)
+	}
+	if snap.Counters[MetricLabHits] != 0 {
+		t.Errorf("prefetch should never hit its own cache, got %v hits", snap.Counters[MetricLabHits])
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"solarcore/internal/mcore"
+	"solarcore/internal/obs"
 	"solarcore/internal/power"
 	"solarcore/internal/pv"
 	"solarcore/internal/sched"
@@ -52,6 +53,11 @@ type Config struct {
 	// shading the P-V curve has several maxima and the Figure 9 climb locks
 	// onto whichever is nearest; the scan finds the global one.
 	ScanPoints int
+	// Observer, when non-nil, receives one obs.TrackEvent per tracking
+	// session (final ratio k, steps consumed, settled load, per-core DVFS
+	// levels) and an obs.AllocEvent for each protective-margin shed. The
+	// engine threads sim.Config.Observer through here.
+	Observer obs.Observer
 }
 
 func (c *Config) fillDefaults() {
@@ -158,10 +164,30 @@ func (c *Controller) operate(env pv.Env, minute float64) power.Operating {
 // loop alternates Step 2 (perturb k, observe output current to pick the
 // tuning direction) and Step 3 (load-match back to nominal) until output
 // power stops improving, and finally sheds MarginSteps of load as the
-// protective power margin.
+// protective power margin. When Config.Observer is set, the settled
+// session is reported as one obs.TrackEvent.
 //
 // unit: minute=min
 func (c *Controller) Track(env pv.Env, minute float64) Result {
+	res := c.track(env, minute)
+	if o := c.Cfg.Observer; o != nil {
+		o.OnTrack(obs.TrackEvent{
+			Minute:   minute,
+			K:        c.Circuit.Conv.K,
+			Steps:    res.Steps,
+			Overload: res.Overload,
+			LoadW:    res.RaisedTo,
+			SensedW:  res.Op.PLoad,
+			Levels:   c.Chip.Levels(),
+		})
+	}
+	return res
+}
+
+// track is the Figure 9 session body behind Track.
+//
+// unit: minute=min
+func (c *Controller) track(env pv.Env, minute float64) Result {
 	steps := 0
 	budgetLeft := func() bool { return steps < c.Cfg.MaxSteps }
 
@@ -240,6 +266,10 @@ func (c *Controller) Track(env pv.Env, minute float64) Result {
 			break
 		}
 		steps++
+		if o := c.Cfg.Observer; o != nil {
+			o.OnAlloc(obs.AllocEvent{Minute: minute, Dir: -1, Reason: obs.AllocMargin,
+				DemandW: c.Chip.Power(minute)})
+		}
 	}
 	op = c.operate(env, minute)
 

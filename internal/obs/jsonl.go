@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SchemaVersion is the JSONL event-stream schema version. Every emitted
+// line carries it in the "v" field; ReadEvents rejects any other value.
+// Bump it only with a migration note in DESIGN.md §10.
+const SchemaVersion = 1
+
+// Event type discriminators (the "type" field of a JSONL line).
+const (
+	TypeRunStart = "run_start"
+	TypeTrack    = "track"
+	TypeAlloc    = "alloc"
+	TypeTick     = "tick"
+	TypeRunEnd   = "run_end"
+)
+
+// Event is the JSONL envelope: one line per hook invocation, with Type
+// selecting which single payload pointer is populated. The envelope
+// round-trips exactly through encoding/json (Go emits float64 with the
+// shortest representation that parses back to the same value), which the
+// schema test asserts.
+type Event struct {
+	// V is the schema version (SchemaVersion).
+	V int `json:"v"`
+	// Type is one of the Type* discriminators.
+	Type string `json:"type"`
+
+	RunStart *RunStartEvent `json:"run_start,omitempty"`
+	Track    *TrackEvent    `json:"track,omitempty"`
+	Alloc    *AllocEvent    `json:"alloc,omitempty"`
+	Tick     *TickEvent     `json:"tick,omitempty"`
+	RunEnd   *RunEndEvent   `json:"run_end,omitempty"`
+}
+
+// Validate checks the envelope invariants: a known schema version and
+// exactly one payload, matching the Type discriminator.
+func (e Event) Validate() error {
+	if e.V != SchemaVersion {
+		return fmt.Errorf("obs: event schema version %d (want %d)", e.V, SchemaVersion)
+	}
+	var set []string
+	if e.RunStart != nil {
+		set = append(set, TypeRunStart)
+	}
+	if e.Track != nil {
+		set = append(set, TypeTrack)
+	}
+	if e.Alloc != nil {
+		set = append(set, TypeAlloc)
+	}
+	if e.Tick != nil {
+		set = append(set, TypeTick)
+	}
+	if e.RunEnd != nil {
+		set = append(set, TypeRunEnd)
+	}
+	if len(set) != 1 {
+		return fmt.Errorf("obs: event %q carries %d payloads (want exactly 1)", e.Type, len(set))
+	}
+	if set[0] != e.Type {
+		return fmt.Errorf("obs: event type %q does not match payload %q", e.Type, set[0])
+	}
+	return nil
+}
+
+// JSONLSink is an Observer that appends one JSON line per event to a
+// writer. Writes are buffered; call Flush (or Close) when the run is
+// done. The first write error sticks: subsequent events are dropped and
+// Err/Flush/Close report it. A JSONLSink is safe for concurrent use.
+type JSONLSink struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink builds a sink writing to w. The caller retains ownership
+// of w (Close flushes the sink but does not close w).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	buf := bufio.NewWriter(w)
+	return &JSONLSink{buf: buf, enc: json.NewEncoder(buf)}
+}
+
+func (s *JSONLSink) emit(ev Event) {
+	ev.V = SchemaVersion
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(ev)
+	}
+	s.mu.Unlock()
+}
+
+// OnRunStart implements Observer.
+func (s *JSONLSink) OnRunStart(ev RunStartEvent) {
+	s.emit(Event{Type: TypeRunStart, RunStart: &ev})
+}
+
+// OnTrack implements Observer. The Levels slice is referenced, not
+// copied; the engine hands each event a fresh slice.
+func (s *JSONLSink) OnTrack(ev TrackEvent) {
+	s.emit(Event{Type: TypeTrack, Track: &ev})
+}
+
+// OnAlloc implements Observer.
+func (s *JSONLSink) OnAlloc(ev AllocEvent) {
+	s.emit(Event{Type: TypeAlloc, Alloc: &ev})
+}
+
+// OnTick implements Observer.
+func (s *JSONLSink) OnTick(ev TickEvent) {
+	s.emit(Event{Type: TypeTick, Tick: &ev})
+}
+
+// OnRunEnd implements Observer.
+func (s *JSONLSink) OnRunEnd(ev RunEndEvent) {
+	s.emit(Event{Type: TypeRunEnd, RunEnd: &ev})
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = s.buf.Flush()
+	}
+	return s.err
+}
+
+// Close flushes the sink. It does not close the underlying writer.
+func (s *JSONLSink) Close() error { return s.Flush() }
+
+// ReadEvents decodes and validates a JSONL event stream written by
+// JSONLSink, returning every event in order. It fails on the first
+// malformed or schema-violating line, identifying it by number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for line := 1; ; line++ {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		if err := ev.Validate(); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// drive sends one of each event through an Observer in run order.
+func drive(o Observer) {
+	o.OnRunStart(RunStartEvent{Runner: "MPPT", Policy: "MPPT&Opt", Mix: "HM2",
+		Label: "Jul@AZ", Cores: 8, StartMin: 300, EndMin: 1140})
+	o.OnTrack(TrackEvent{Minute: 300, K: 3.0625, Steps: 41, LoadW: 55.5,
+		SensedW: 55.125, Levels: []int{3, 3, -1, 2, 0, 1, 3, 2}})
+	o.OnAlloc(AllocEvent{Minute: 301, Dir: -1, Reason: AllocShed, DemandW: 50.25, BudgetW: 49.5})
+	o.OnTick(TickEvent{Minute: 301, BudgetW: 49.5, DemandW: 48.75, OnSolar: true})
+	o.OnRunEnd(RunEndEvent{Runner: "MPPT", SolarWh: 400.125, UtilityWh: 20.5,
+		SolarMin: 500, DaytimeMin: 840, Overloads: 2, Transitions: 1234, ATSSwitches: 4})
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	drive(sink)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5", len(events))
+	}
+	wantTypes := []string{TypeRunStart, TypeTrack, TypeAlloc, TypeTick, TypeRunEnd}
+	for i, ev := range events {
+		if ev.Type != wantTypes[i] {
+			t.Errorf("event %d type = %q, want %q", i, ev.Type, wantTypes[i])
+		}
+		if ev.V != SchemaVersion {
+			t.Errorf("event %d version = %d, want %d", i, ev.V, SchemaVersion)
+		}
+	}
+
+	// Re-encoding the decoded events must reproduce the stream byte for
+	// byte: the schema round-trips exactly.
+	var buf2 bytes.Buffer
+	enc := json.NewEncoder(&buf2)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf1 bytes.Buffer
+	sink1 := NewJSONLSink(&buf1)
+	drive(sink1)
+	if err := sink1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Errorf("re-encoded stream differs from original:\n%s\nvs\n%s", buf1.Bytes(), buf2.Bytes())
+	}
+
+	// Field-level round trip of a representative payload.
+	want := TrackEvent{Minute: 300, K: 3.0625, Steps: 41, LoadW: 55.5,
+		SensedW: 55.125, Levels: []int{3, 3, -1, 2, 0, 1, 3, 2}}
+	if got := events[1].Track; got == nil || !reflect.DeepEqual(*got, want) {
+		t.Errorf("track payload = %+v, want %+v", got, want)
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	tick := &TickEvent{Minute: 1}
+	cases := []struct {
+		name string
+		ev   Event
+		ok   bool
+	}{
+		{"valid", Event{V: SchemaVersion, Type: TypeTick, Tick: tick}, true},
+		{"bad version", Event{V: 99, Type: TypeTick, Tick: tick}, false},
+		{"no payload", Event{V: SchemaVersion, Type: TypeTick}, false},
+		{"two payloads", Event{V: SchemaVersion, Type: TypeTick, Tick: tick, Alloc: &AllocEvent{}}, false},
+		{"mismatched type", Event{V: SchemaVersion, Type: TypeTrack, Tick: tick}, false},
+	}
+	for _, c := range cases {
+		if err := c.ev.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%t", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestReadEventsRejectsMalformedLine(t *testing.T) {
+	in := `{"v":1,"type":"tick","tick":{"minute":1,"budget_w":2,"demand_w":1,"on_solar":true}}
+{"v":1,"type":"tick"}
+`
+	_, err := ReadEvents(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-2 validation error, got %v", err)
+	}
+}
+
+type failWriter struct{ calls int }
+
+var errBoom = errors.New("boom")
+
+func (f *failWriter) Write(p []byte) (int, error) { f.calls++; return 0, errBoom }
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	// A tiny bufio buffer forces the write through to the failing writer.
+	sink := NewJSONLSink(&failWriter{})
+	for i := 0; i < 5000; i++ { // enough volume to overflow the buffer
+		sink.OnTick(TickEvent{Minute: float64(i)})
+	}
+	if err := sink.Err(); !errors.Is(err, errBoom) {
+		t.Errorf("Err() = %v, want %v", err, errBoom)
+	}
+	if err := sink.Close(); !errors.Is(err, errBoom) {
+		t.Errorf("Close() = %v, want sticky %v", err, errBoom)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+// Metric names the Metrics observer maintains (DESIGN.md §10). Counters
+// end in _total or carry their unit; histogram and gauge names carry
+// their unit or declare themselves dimensionless.
+const (
+	// MetricRuns counts completed runs (RunEndEvents).
+	MetricRuns = "runs_total"
+	// MetricTicks and MetricSolarTicks count simulation sub-samples and
+	// the subset that ran on the panel.
+	MetricTicks      = "ticks_total"
+	MetricSolarTicks = "solar_ticks_total"
+	// MetricTracks and MetricOverloads count MPPT tracking sessions and
+	// the subset that overloaded to the utility.
+	MetricTracks    = "tracks_total"
+	MetricOverloads = "track_overloads_total"
+	// MetricAllocs counts per-core DVFS moves outside tracking sessions;
+	// the raise/lower variants split them by direction.
+	MetricAllocs      = "allocs_total"
+	MetricAllocRaises = "allocs_raise_total"
+	MetricAllocLowers = "allocs_lower_total"
+	// MetricSolarWh / MetricUtilityWh / MetricSolarMin accumulate the
+	// RunEndEvent energy and duration totals (Wh, Wh, min).
+	MetricSolarWh   = "solar_wh_total"
+	MetricUtilityWh = "utility_wh_total"
+	MetricSolarMin  = "solar_min_total"
+	// MetricTransitions and MetricATSSwitches accumulate DVFS level
+	// changes and transfer-switch transitions.
+	MetricTransitions = "dvfs_transitions_total"
+	MetricATSSwitches = "ats_switches_total"
+	// MetricTrackSteps is a histogram of tuning actions per tracking
+	// session (count).
+	MetricTrackSteps = "track_steps"
+	// MetricTickErr is a histogram of the per-tick relative tracking
+	// error |budget−demand|/budget over solar-powered ticks (ratio).
+	MetricTickErr = "tick_err_ratio"
+	// MetricTrackK is a gauge holding the last settled transfer ratio
+	// (dimensionless).
+	MetricTrackK = "track_k"
+)
+
+// Metrics returns an Observer that folds events into reg under the
+// Metric* names, giving any run an expvar-style summary without storing
+// the event stream. The observer inherits the registry's concurrency
+// safety.
+func Metrics(reg *Registry) Observer { return metricsObserver{reg} }
+
+type metricsObserver struct{ reg *Registry }
+
+// OnRunStart implements Observer.
+func (metricsObserver) OnRunStart(RunStartEvent) {}
+
+// OnTrack implements Observer.
+func (m metricsObserver) OnTrack(ev TrackEvent) {
+	m.reg.Add(MetricTracks, 1)
+	if ev.Overload {
+		m.reg.Add(MetricOverloads, 1)
+	}
+	m.reg.Observe(MetricTrackSteps, float64(ev.Steps))
+	m.reg.Set(MetricTrackK, ev.K)
+}
+
+// OnAlloc implements Observer.
+func (m metricsObserver) OnAlloc(ev AllocEvent) {
+	m.reg.Add(MetricAllocs, 1)
+	if ev.Dir > 0 {
+		m.reg.Add(MetricAllocRaises, 1)
+	} else {
+		m.reg.Add(MetricAllocLowers, 1)
+	}
+}
+
+// OnTick implements Observer.
+func (m metricsObserver) OnTick(ev TickEvent) {
+	m.reg.Add(MetricTicks, 1)
+	if ev.OnSolar {
+		m.reg.Add(MetricSolarTicks, 1)
+		if ev.BudgetW > 0 {
+			err := ev.BudgetW - ev.DemandW
+			if err < 0 {
+				err = -err
+			}
+			m.reg.Observe(MetricTickErr, err/ev.BudgetW)
+		}
+	}
+}
+
+// OnRunEnd implements Observer.
+func (m metricsObserver) OnRunEnd(ev RunEndEvent) {
+	m.reg.Add(MetricRuns, 1)
+	m.reg.Add(MetricSolarWh, ev.SolarWh)
+	m.reg.Add(MetricUtilityWh, ev.UtilityWh)
+	m.reg.Add(MetricSolarMin, ev.SolarMin)
+	m.reg.Add(MetricTransitions, float64(ev.Transitions))
+	m.reg.Add(MetricATSSwitches, float64(ev.ATSSwitches))
+}

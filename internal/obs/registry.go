@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+)
+
+// DefaultBounds are the histogram bucket upper bounds every Registry
+// histogram uses: decade steps covering the magnitudes this simulator
+// produces (sub-millisecond wall times up to multi-kilowatt-hour
+// energies). A value v lands in the first bucket whose bound is >= v;
+// values above the last bound land in the implicit overflow bucket, so a
+// HistSnapshot has len(DefaultBounds)+1 buckets. One shared bound set
+// keeps snapshots from different registries mergeable.
+var DefaultBounds = []float64{0.001, 0.01, 0.1, 1, 10, 100, 1000, 10000}
+
+// Registry is a named-metric store: monotonic counters, last-value
+// gauges and fixed-bucket histograms. All methods are safe for
+// concurrent use. Metric names are flat strings; the conventions the
+// simulation stack uses are documented in DESIGN.md §10.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*hist
+}
+
+type hist struct {
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []uint64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*hist{},
+	}
+}
+
+// Add increments the named counter by delta. Counters are monotonic by
+// convention; Add does not enforce a sign.
+func (r *Registry) Add(name string, delta float64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set stores v as the named gauge's current value.
+func (r *Registry) Set(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe records v into the named histogram. NaN observations are
+// dropped (they would poison sum/min/max); ±Inf saturates into the
+// overflow or first bucket.
+func (r *Registry) Observe(name string, v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &hist{min: math.Inf(1), max: math.Inf(-1), buckets: make([]uint64, len(DefaultBounds)+1)}
+		r.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	idx := len(DefaultBounds) // overflow bucket
+	for i, bound := range DefaultBounds {
+		if v <= bound {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx]++
+	r.mu.Unlock()
+}
+
+// Snapshot is a consistent point-in-time export of a Registry, suitable
+// for JSON encoding and cross-fleet merging.
+type Snapshot struct {
+	Counters   map[string]float64      `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// HistSnapshot exports one histogram. Buckets[i] counts observations in
+// (Bounds[i-1], Bounds[i]] against the package-wide DefaultBounds; the
+// final element is the overflow bucket. Min and Max are zero when Count
+// is zero.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot exports the registry's current state. The returned maps are
+// copies; mutating them does not affect the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]float64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		hs := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+			Buckets: append([]uint64(nil), h.buckets...)}
+		if h.count == 0 {
+			hs.Min, hs.Max = 0, 0
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (expvar-style dump;
+// encoding/json emits map keys sorted, so the output is deterministic).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// MergeSnapshots aggregates registry snapshots across a fleet: counters
+// and histogram buckets sum, histogram Min/Max widen, and gauges copy
+// with the later snapshot winning on a key conflict — prefix gauge names
+// per node when every value must survive the merge.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, h := range s.Histograms {
+			out.Histograms[k] = mergeHist(out.Histograms[k], h)
+		}
+	}
+	return out
+}
+
+func mergeHist(a, b HistSnapshot) HistSnapshot {
+	if a.Count == 0 {
+		b.Buckets = append([]uint64(nil), b.Buckets...)
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	m := HistSnapshot{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		Min:   math.Min(a.Min, b.Min),
+		Max:   math.Max(a.Max, b.Max),
+	}
+	n := len(a.Buckets)
+	if len(b.Buckets) > n {
+		n = len(b.Buckets)
+	}
+	m.Buckets = make([]uint64, n)
+	for i := range m.Buckets {
+		if i < len(a.Buckets) {
+			m.Buckets[i] += a.Buckets[i]
+		}
+		if i < len(b.Buckets) {
+			m.Buckets[i] += b.Buckets[i]
+		}
+	}
+	return m
+}

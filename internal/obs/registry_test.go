@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersGaugesHists(t *testing.T) {
+	r := NewRegistry()
+	r.Add("runs_total", 1)
+	r.Add("runs_total", 2)
+	r.Set("k", 3.25)
+	r.Set("k", 4.5)
+	r.Observe("steps", 0.5)
+	r.Observe("steps", 50)
+	r.Observe("steps", 1e6) // overflow bucket
+
+	s := r.Snapshot()
+	if got := s.Counters["runs_total"]; got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	if got := s.Gauges["k"]; got != 4.5 {
+		t.Errorf("gauge = %v, want last-set 4.5", got)
+	}
+	h := s.Histograms["steps"]
+	if h.Count != 3 || h.Min != 0.5 || h.Max != 1e6 {
+		t.Errorf("hist = %+v", h)
+	}
+	if want := 0.5 + 50 + 1e6; h.Sum != want {
+		t.Errorf("hist sum = %v, want %v", h.Sum, want)
+	}
+	if len(h.Buckets) != len(DefaultBounds)+1 {
+		t.Fatalf("bucket count = %d, want %d", len(h.Buckets), len(DefaultBounds)+1)
+	}
+	if h.Buckets[len(h.Buckets)-1] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", h.Buckets[len(h.Buckets)-1])
+	}
+	if got, want := h.Mean(), (0.5+50+1e6)/3; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryNaNObservationDropped(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("h", math.NaN())
+	r.Observe("h", 2)
+	h := r.Snapshot().Histograms["h"]
+	if h.Count != 1 || h.Sum != 2 {
+		t.Errorf("NaN not dropped: %+v", h)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Add("c", 1)
+	s := r.Snapshot()
+	s.Counters["c"] = 99
+	if got := r.Snapshot().Counters["c"]; got != 1 {
+		t.Errorf("registry mutated through snapshot: %v", got)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := NewRegistry()
+	a.Add("solar_wh_total", 100)
+	a.Set("node00_soc", 0.8)
+	a.Observe("wall_ms", 5)
+	b := NewRegistry()
+	b.Add("solar_wh_total", 50)
+	b.Set("node01_soc", 0.6)
+	b.Observe("wall_ms", 500)
+
+	m := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if got := m.Counters["solar_wh_total"]; got != 150 {
+		t.Errorf("merged counter = %v, want 150", got)
+	}
+	if m.Gauges["node00_soc"] != 0.8 || m.Gauges["node01_soc"] != 0.6 {
+		t.Errorf("merged gauges = %v", m.Gauges)
+	}
+	h := m.Histograms["wall_ms"]
+	if h.Count != 2 || h.Min != 5 || h.Max != 500 {
+		t.Errorf("merged hist = %+v", h)
+	}
+	var total uint64
+	for _, c := range h.Buckets {
+		total += c
+	}
+	if total != 2 {
+		t.Errorf("merged bucket total = %d, want 2", total)
+	}
+}
+
+func TestMergeSnapshotsEmptyHistogram(t *testing.T) {
+	a := NewRegistry()
+	a.Observe("h", 3)
+	empty := Snapshot{Histograms: map[string]HistSnapshot{"h": {}}}
+	m := MergeSnapshots(a.Snapshot(), empty)
+	if h := m.Histograms["h"]; h.Count != 1 || h.Min != 3 || h.Max != 3 {
+		t.Errorf("merge with empty hist = %+v", h)
+	}
+}
+
+func TestSnapshotWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Add("ticks_total", 7)
+	r.Set("track_k", 2.125)
+	r.Observe("track_steps", 12)
+	want := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := want.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("c", 1)
+				r.Set("g", float64(i))
+				r.Observe("h", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8000 {
+		t.Errorf("counter = %v, want 8000", s.Counters["c"])
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Errorf("hist count = %v, want 8000", s.Histograms["h"].Count)
+	}
+}

@@ -145,24 +145,46 @@ func (IndividualCore) Lower(chip *mcore.Chip, minute float64) bool {
 	return false
 }
 
+// policies is the single source of truth for the Table 6 policy set:
+// the paper's order, each name bound to a factory for a fresh allocator.
+// Every lookup (ByName), listing (Names, Allocators) and the facade's
+// Policies() derive from this table.
+var policies = []struct {
+	name string
+	make func() Allocator
+}{
+	{"MPPT&IC", func() Allocator { return IndividualCore{} }},
+	{"MPPT&RR", func() Allocator { return &RoundRobin{} }},
+	{"MPPT&Opt", func() Allocator { return OptTPR{} }},
+}
+
 // Allocators returns fresh instances of the three MPPT load-adaptation
 // policies of Table 6 in the paper's order.
 func Allocators() []Allocator {
-	return []Allocator{IndividualCore{}, &RoundRobin{}, OptTPR{}}
+	out := make([]Allocator, len(policies))
+	for i, p := range policies {
+		out[i] = p.make()
+	}
+	return out
+}
+
+// Names lists the Table 6 policy names in the paper's order.
+func Names() []string {
+	out := make([]string, len(policies))
+	for i, p := range policies {
+		out[i] = p.name
+	}
+	return out
 }
 
 // ByName returns a fresh allocator for a Table 6 policy name.
 func ByName(name string) (Allocator, bool) {
-	switch name {
-	case "MPPT&IC":
-		return IndividualCore{}, true
-	case "MPPT&RR":
-		return &RoundRobin{}, true
-	case "MPPT&Opt":
-		return OptTPR{}, true
-	default:
-		return nil, false
+	for _, p := range policies {
+		if p.name == name {
+			return p.make(), true
+		}
 	}
+	return nil, false
 }
 
 // PlanBudget configures the chip for a fixed power budget: starting from

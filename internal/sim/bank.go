@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"solarcore/internal/obs"
 	"solarcore/internal/power"
 )
 
@@ -50,12 +51,26 @@ func RunBatteryBank(cfg Config, bank *power.Bank, trackingEff float64) (*BankDay
 	_ = chip.SetAllLevels(chip.NumLevels() - 1) // stable supply: run flat out (level is in range)
 
 	res := &BankDayResult{DayResult: *newResult(cfg, "BatteryBank")}
+	o := cfg.Observer
+	if o != nil {
+		o.OnRunStart(obs.RunStartEvent{
+			Runner: "BatteryBank", Policy: res.Policy, Mix: cfg.Mix.Name,
+			Label: cfg.Day.Trace.Label(), Cores: chip.NumCores(),
+			StartMin: cfg.Day.StartMinute(), EndMin: cfg.Day.EndMinute(),
+		})
+	}
 	cycles0 := bank.EquivalentFullCycles()
 	cap0 := bank.CapacityWh()
 	loss0 := bank.LossWh()
 
 	start, end := cfg.Day.StartMinute(), cfg.Day.EndMinute()
 	for t := start; t < end-1e-9; t += cfg.StepMin {
+		if err := cfg.canceled(); err != nil {
+			// The bank has already absorbed this run's partial
+			// charge/discharge history; callers chaining multi-day
+			// deployments should discard it after a cancellation.
+			return nil, err
+		}
 		dt := math.Min(cfg.StepMin, end-t)
 		harvest := trackingEff * cfg.Day.MPPAt(t)
 		demand := chip.Power(t)
@@ -73,6 +88,9 @@ func RunBatteryBank(cfg Config, bank *power.Bank, trackingEff float64) (*BankDay
 		}
 		bank.Idle(dt)
 
+		if o != nil {
+			o.OnTick(obs.TickEvent{Minute: t, BudgetW: harvest, DemandW: demand, OnSolar: powered})
+		}
 		if powered {
 			res.SolarMin += dt
 			res.SolarWh += demand * dt / 60
@@ -97,5 +115,8 @@ func RunBatteryBank(cfg Config, bank *power.Bank, trackingEff float64) (*BankDay
 	res.CapacityFadeWh = cap0 - bank.CapacityWh()
 	res.BatteryLossWh = bank.LossWh() - loss0
 	res.FinalSoC = bank.SoC()
+	if o != nil {
+		o.OnRunEnd(runEndEvent("BatteryBank", &res.DayResult))
+	}
 	return res, nil
 }

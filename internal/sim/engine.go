@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"solarcore/internal/mathx"
 	"solarcore/internal/mcore"
 	"solarcore/internal/mppt"
+	"solarcore/internal/obs"
 	"solarcore/internal/power"
 	"solarcore/internal/sched"
 	"solarcore/internal/thermal"
@@ -54,6 +56,29 @@ type Config struct {
 	Thermal *thermal.Config
 	// KeepSeries retains the per-sub-sample budget/actual trace.
 	KeepSeries bool
+	// Ctx, when non-nil, cancels the run cooperatively: every runner
+	// checks it at least once per tracking period (or sub-sample) and
+	// returns the wrapped context error instead of a partial result.
+	Ctx context.Context
+	// Observer, when non-nil, receives lifecycle hooks as the run
+	// unfolds: OnRunStart/OnRunEnd bracketing the day, one OnTrack per
+	// MPPT tracking session, OnAlloc per mid-period DVFS move and OnTick
+	// per sub-sample (see package obs). A nil observer costs nothing;
+	// the no-op observer's overhead is held under 5 % by the root
+	// benchmark BenchmarkRunMPPTNopObserver.
+	Observer obs.Observer
+}
+
+// canceled reports a pending cancellation on cfg.Ctx, pre-wrapped for
+// returning to the caller.
+func (c *Config) canceled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return fmt.Errorf("sim: run canceled: %w", err)
+	}
+	return nil
 }
 
 func (c *Config) fillDefaults() error {
@@ -116,6 +141,7 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 		MarginSteps: cfg.MarginSteps,
 		SensorError: cfg.SensorError,
 		ScanPoints:  cfg.ScanPoints,
+		Observer:    cfg.Observer,
 	})
 	if err != nil {
 		return nil, err
@@ -132,6 +158,14 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 	}
 
 	res := newResult(cfg, alloc.Name())
+	o := cfg.Observer
+	if o != nil {
+		o.OnRunStart(obs.RunStartEvent{
+			Runner: "MPPT", Policy: alloc.Name(), Mix: cfg.Mix.Name,
+			Label: cfg.Day.Trace.Label(), Cores: chip.NumCores(),
+			StartMin: cfg.Day.StartMinute(), EndMin: cfg.Day.EndMinute(),
+		})
+	}
 	eta := circuit.Conv.Efficiency
 	var meter power.EnergyMeter
 	ats := power.NewTransferSwitch(power.Utility)
@@ -149,6 +183,9 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 
 	start, end := cfg.Day.StartMinute(), cfg.Day.EndMinute()
 	for t0 := start; t0 < end; t0 += cfg.TrackPeriodMin {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		t1 := math.Min(t0+cfg.TrackPeriodMin, end)
 		track := ctrl.Track(cfg.Day.EnvAt(t0), t0)
 		onSolar := track.Solar()
@@ -194,6 +231,10 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 						break
 					}
 					demand = chip.Power(t)
+					if o != nil {
+						o.OnAlloc(obs.AllocEvent{Minute: t, Dir: -1, Reason: obs.AllocShed,
+							DemandW: demand, BudgetW: budget})
+					}
 				}
 				for budget-demand > raiseBand()*budget {
 					if !alloc.Raise(chip, t) {
@@ -201,9 +242,17 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 					}
 					if next := chip.Power(t); next <= budget {
 						demand = next
+						if o != nil {
+							o.OnAlloc(obs.AllocEvent{Minute: t, Dir: +1, Reason: obs.AllocRaise,
+								DemandW: demand, BudgetW: budget})
+						}
 					} else {
 						alloc.Lower(chip, t)
 						demand = chip.Power(t)
+						if o != nil {
+							o.OnAlloc(obs.AllocEvent{Minute: t, Dir: -1, Reason: obs.AllocRevert,
+								DemandW: demand, BudgetW: budget})
+						}
 						break
 					}
 				}
@@ -238,6 +287,9 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 				meter.Add(power.Utility, demand, dt)
 			}
 			res.GInstrTotal += chip.Throughput(t) * dt * 60
+			if o != nil {
+				o.OnTick(obs.TickEvent{Minute: t, BudgetW: budget, DemandW: demand, OnSolar: solarNow})
+			}
 			if cfg.KeepSeries {
 				actual := 0.0
 				if solarNow {
@@ -273,7 +325,24 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 			res.GInstrTotal *= 1 - frac
 		}
 	}
+	if o != nil {
+		o.OnRunEnd(runEndEvent("MPPT", res))
+	}
 	return res, nil
+}
+
+// runEndEvent folds a finished day's totals into the closing hook event.
+func runEndEvent(runner string, res *DayResult) obs.RunEndEvent {
+	return obs.RunEndEvent{
+		Runner:      runner,
+		SolarWh:     res.SolarWh,
+		UtilityWh:   res.UtilityWh,
+		SolarMin:    res.SolarMin,
+		DaytimeMin:  res.DaytimeMin,
+		Overloads:   res.Overloads,
+		Transitions: res.Transitions,
+		ATSSwitches: res.ATSSwitches,
+	}
 }
 
 // RunFixed simulates one day under the non-tracking Fixed-Power baseline:
@@ -296,10 +365,21 @@ func RunFixed(cfg Config, budgetW float64) (*DayResult, error) {
 
 	res := newResult(cfg, "Fixed-Power")
 	res.Policy = fmt.Sprintf("Fixed-Power(%gW)", budgetW)
+	o := cfg.Observer
+	if o != nil {
+		o.OnRunStart(obs.RunStartEvent{
+			Runner: "Fixed-Power", Policy: res.Policy, Mix: cfg.Mix.Name,
+			Label: cfg.Day.Trace.Label(), Cores: chip.NumCores(),
+			StartMin: cfg.Day.StartMinute(), EndMin: cfg.Day.EndMinute(),
+		})
+	}
 	var meter power.EnergyMeter
 
 	start, end := cfg.Day.StartMinute(), cfg.Day.EndMinute()
 	for t0 := start; t0 < end; t0 += cfg.TrackPeriodMin {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		t1 := math.Min(t0+cfg.TrackPeriodMin, end)
 		sched.PlanBudget(chip, t0, budgetW)
 		for t := t0; t < t1-1e-9; t += cfg.StepMin {
@@ -315,6 +395,9 @@ func RunFixed(cfg Config, budgetW float64) (*DayResult, error) {
 				meter.Add(power.Utility, demand, dt)
 			}
 			res.GInstrTotal += chip.Throughput(t) * dt * 60
+			if o != nil {
+				o.OnTick(obs.TickEvent{Minute: t, BudgetW: avail, DemandW: demand, OnSolar: solarNow})
+			}
 			if cfg.KeepSeries {
 				actual := 0.0
 				if solarNow {
@@ -326,6 +409,9 @@ func RunFixed(cfg Config, budgetW float64) (*DayResult, error) {
 	}
 	res.SolarWh = meter.EnergyWh(power.Solar)
 	res.UtilityWh = meter.EnergyWh(power.Utility)
+	if o != nil {
+		o.OnRunEnd(runEndEvent("Fixed-Power", res))
+	}
 	return res, nil
 }
 
@@ -347,6 +433,14 @@ func RunBattery(cfg Config, eff float64) (*DayResult, error) {
 	_ = chip.SetAllLevels(chip.NumLevels() - 1) // level is in range by construction
 
 	res := newResult(cfg, fmt.Sprintf("Battery(%.0f%%)", eff*100))
+	o := cfg.Observer
+	if o != nil {
+		o.OnRunStart(obs.RunStartEvent{
+			Runner: "Battery", Policy: res.Policy, Mix: cfg.Mix.Name,
+			Label: cfg.Day.Trace.Label(), Cores: chip.NumCores(),
+			StartMin: cfg.Day.StartMinute(), EndMin: cfg.Day.EndMinute(),
+		})
+	}
 	bat := power.NewBatterySystem(eff)
 
 	start, end := cfg.Day.StartMinute(), cfg.Day.EndMinute()
@@ -357,9 +451,17 @@ func RunBattery(cfg Config, eff float64) (*DayResult, error) {
 		bat.Harvest(cfg.Day.MPPAt(t), dt)
 	}
 	for t := start; t < end-1e-9; t += cfg.StepMin {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
 		dt := math.Min(cfg.StepMin, end-t)
 		demand := chip.Power(t)
 		got := bat.Draw(demand, dt)
+		if o != nil {
+			// The battery supplies on demand while charged, so the
+			// available power equals demand until the bank empties.
+			o.OnTick(obs.TickEvent{Minute: t, BudgetW: demand, DemandW: demand, OnSolar: got > 0})
+		}
 		if got <= 0 {
 			break
 		}
@@ -367,6 +469,9 @@ func RunBattery(cfg Config, eff float64) (*DayResult, error) {
 		res.SolarWh += demand * got / 60
 		res.GInstrSolar += chip.Throughput(t) * got * 60
 		res.GInstrTotal += chip.Throughput(t) * got * 60
+	}
+	if o != nil {
+		o.OnRunEnd(runEndEvent("Battery", res))
 	}
 	return res, nil
 }

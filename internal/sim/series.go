@@ -59,13 +59,18 @@ func (s *SeriesResult) TrackErrGeoMean() float64 {
 
 // RunMPPTSeries runs the same configuration over a sequence of solar days
 // (a multi-day deployment) under one MPPT policy. The allocator persists
-// across days, as a deployed controller would.
+// across days, as a deployed controller would. A cancellation on base.Ctx
+// aborts the sweep between (or within) days and returns the wrapped
+// context error instead of a partial series.
 func RunMPPTSeries(base Config, alloc sched.Allocator, days []*SolarDay) (*SeriesResult, error) {
 	if len(days) == 0 {
 		return nil, fmt.Errorf("sim: series needs at least one day")
 	}
 	out := &SeriesResult{}
 	for i, day := range days {
+		if err := base.canceled(); err != nil {
+			return nil, fmt.Errorf("sim: series day %d: %w", i, err)
+		}
 		cfg := base
 		cfg.Day = day
 		res, err := RunMPPT(cfg, alloc)

@@ -1,0 +1,266 @@
+package solarcore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"solarcore/internal/obs"
+	"solarcore/internal/sched"
+	"solarcore/internal/sim"
+)
+
+// ErrUnknownPolicy reports a policy name outside the Table 6 set. Every
+// name-resolving entry point (NewRunner, NewController and the deprecated
+// Run/RunSeries wrappers) wraps it, so callers can test with
+// errors.Is(err, ErrUnknownPolicy).
+var ErrUnknownPolicy = errors.New("unknown policy")
+
+// allocByName resolves a Table 6 policy name to a fresh allocator;
+// sched.ByName is the single source of truth for the name set.
+func allocByName(policy string) (Allocator, error) {
+	alloc, ok := sched.ByName(policy)
+	if !ok {
+		return nil, fmt.Errorf("solarcore: %w %q (want one of %v)", ErrUnknownPolicy, policy, Policies())
+	}
+	return alloc, nil
+}
+
+// Observability layer (package obs). Observer hooks, metric names and
+// the JSONL event schema are specified in DESIGN.md §10.
+type (
+	// Observer receives simulation lifecycle hooks (see WithObserver).
+	Observer = obs.Observer
+	// Registry is a concurrency-safe store of counters, gauges and
+	// histograms with snapshot export.
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time registry export; snapshots from
+	// a fleet of runs merge with MergeMetrics.
+	MetricsSnapshot = obs.Snapshot
+	// JSONLSink is an Observer appending one JSON line per event to a
+	// writer, in the schema ReadEvents decodes.
+	JSONLSink = obs.JSONLSink
+	// ObsEvent is one decoded JSONL event envelope.
+	ObsEvent = obs.Event
+)
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewJSONLSink builds an observer streaming events to w as JSON lines;
+// call Flush (or Close) after the run.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// ReadEvents decodes and validates a JSONL event stream written by a
+// JSONLSink.
+func ReadEvents(r io.Reader) ([]ObsEvent, error) { return obs.ReadEvents(r) }
+
+// MetricsObserver returns an Observer folding events into reg under the
+// metric names of DESIGN.md §10.
+func MetricsObserver(reg *Registry) Observer { return obs.Metrics(reg) }
+
+// MergeMetrics aggregates registry snapshots across a fleet of runs.
+func MergeMetrics(snaps ...MetricsSnapshot) MetricsSnapshot { return obs.MergeSnapshots(snaps...) }
+
+// NopObserver returns the no-op observer: every hook is received and
+// discarded. Useful for exercising the full hook path in benchmarks.
+func NopObserver() Observer { return obs.Nop{} }
+
+// runMode selects which engine entry point a Runner drives.
+type runMode int
+
+const (
+	modePolicy  runMode = iota // MPPT tracking under a Table 6 policy
+	modeFixed                  // non-tracking fixed-budget baseline
+	modeBattery                // idealized battery-system baseline
+	modeBank                   // stateful battery-bank standalone system
+)
+
+func (m runMode) String() string {
+	switch m {
+	case modePolicy:
+		return "WithPolicy"
+	case modeFixed:
+		return "WithFixedBudget"
+	case modeBattery:
+		return "WithBattery"
+	case modeBank:
+		return "WithBank"
+	}
+	return fmt.Sprintf("runMode(%d)", int(m))
+}
+
+// Runner is the unified simulation entry point: one Config plus
+// functional options replaces the historical Run / RunFixedPower /
+// RunBattery / RunBatteryBank / RunSeries quintet (all still available
+// as deprecated wrappers delegating here).
+//
+//	r, err := solarcore.NewRunner(solarcore.Config{Day: day, Mix: mix},
+//	        solarcore.WithPolicy(solarcore.PolicyOpt),
+//	        solarcore.WithObserver(sink),
+//	        solarcore.WithContext(ctx))
+//	res, err := r.Run()
+//
+// Exactly one mode option (WithPolicy, WithFixedBudget, WithBattery,
+// WithBank) may be given; none defaults to WithPolicy(PolicyOpt), the
+// paper's headline configuration. A Runner is immutable after NewRunner
+// and may be reused: every Run/RunSeries call simulates fresh state
+// (except the battery bank, which deliberately persists across runs to
+// model multi-day wear).
+type Runner struct {
+	cfg  Config
+	mode runMode
+	// modes records every mode option applied, for conflict reporting.
+	modes []runMode
+
+	policy     string
+	budgetW    float64
+	batteryEff float64
+	bank       *Bank
+	bankEff    float64
+
+	ctx       context.Context
+	observers []Observer
+}
+
+// RunnerOption configures a Runner at construction.
+type RunnerOption func(*Runner)
+
+// WithPolicy selects an MPPT tracking run under a Table 6 policy name
+// (PolicyIC, PolicyRR or PolicyOpt).
+func WithPolicy(policy string) RunnerOption {
+	return func(r *Runner) {
+		r.mode = modePolicy
+		r.modes = append(r.modes, modePolicy)
+		r.policy = policy
+	}
+}
+
+// WithFixedBudget selects the non-tracking Fixed-Power baseline at the
+// given constant budget in watts.
+func WithFixedBudget(budgetW float64) RunnerOption {
+	return func(r *Runner) {
+		r.mode = modeFixed
+		r.modes = append(r.modes, modeFixed)
+		r.budgetW = budgetW
+	}
+}
+
+// WithBattery selects the idealized battery-equipped baseline at the
+// given overall conversion efficiency (e.g. BatteryUpperEff).
+func WithBattery(eff float64) RunnerOption {
+	return func(r *Runner) {
+		r.mode = modeBattery
+		r.modes = append(r.modes, modeBattery)
+		r.batteryEff = eff
+	}
+}
+
+// WithBank selects the realistic battery-bank standalone system: the
+// bank persists across runs (rate limits, losses, self-discharge and
+// cycling wear accumulate), harvesting trackingEff of the panel MPP.
+func WithBank(bank *Bank, trackingEff float64) RunnerOption {
+	return func(r *Runner) {
+		r.mode = modeBank
+		r.modes = append(r.modes, modeBank)
+		r.bank = bank
+		r.bankEff = trackingEff
+	}
+}
+
+// WithObserver attaches an observer to the run's lifecycle hooks. The
+// option composes: each call adds another observer, and all of them (plus
+// any Config.Observer) receive every event.
+func WithObserver(o Observer) RunnerOption {
+	return func(r *Runner) { r.observers = append(r.observers, o) }
+}
+
+// WithContext attaches a cancellation context: the engine checks it at
+// least once per tracking period (and per simulated day in RunSeries)
+// and returns the wrapped context error instead of a partial result.
+func WithContext(ctx context.Context) RunnerOption {
+	return func(r *Runner) { r.ctx = ctx }
+}
+
+// NewRunner builds a Runner over cfg. It fails fast on conflicting mode
+// options and on an unknown policy name (errors.Is ErrUnknownPolicy);
+// value validation (budget sign, efficiency range, nil bank) stays with
+// the engine so Runner calls report identical errors to the deprecated
+// wrappers.
+func NewRunner(cfg Config, opts ...RunnerOption) (*Runner, error) {
+	r := &Runner{cfg: cfg, mode: modePolicy, policy: PolicyOpt}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if len(r.modes) > 1 {
+		return nil, fmt.Errorf("solarcore: conflicting runner modes %v (give at most one)", r.modes)
+	}
+	if r.mode == modePolicy {
+		if _, err := allocByName(r.policy); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// runConfig materializes the per-run engine config: the base Config with
+// the Runner's context and composed observers applied.
+func (r *Runner) runConfig() Config {
+	cfg := r.cfg
+	if r.ctx != nil {
+		cfg.Ctx = r.ctx
+	}
+	if len(r.observers) > 0 {
+		all := append([]Observer{cfg.Observer}, r.observers...)
+		cfg.Observer = obs.Multi(all...)
+	}
+	return cfg
+}
+
+// Run simulates one day in the Runner's mode. In bank mode it returns
+// the embedded DayResult; use RunBank for the bank diagnostics.
+func (r *Runner) Run() (*DayResult, error) {
+	cfg := r.runConfig()
+	switch r.mode {
+	case modeFixed:
+		return sim.RunFixed(cfg, r.budgetW)
+	case modeBattery:
+		return sim.RunBattery(cfg, r.batteryEff)
+	case modeBank:
+		res, err := sim.RunBatteryBank(cfg, r.bank, r.bankEff)
+		if err != nil {
+			return nil, err
+		}
+		return &res.DayResult, nil
+	}
+	alloc, err := allocByName(r.policy)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunMPPT(cfg, alloc)
+}
+
+// RunBank simulates one day against the persistent battery bank and
+// returns its full diagnostics. It requires WithBank mode.
+func (r *Runner) RunBank() (*BankDayResult, error) {
+	if r.mode != modeBank {
+		return nil, fmt.Errorf("solarcore: RunBank needs a WithBank runner (mode is %v)", r.mode)
+	}
+	return sim.RunBatteryBank(r.runConfig(), r.bank, r.bankEff)
+}
+
+// RunSeries simulates consecutive days under the Runner's MPPT policy,
+// overriding the base config's Day per day; the allocator state persists
+// across days as a deployed controller's would. It requires WithPolicy
+// mode (the baselines have no meaningful multi-day tracking state).
+func (r *Runner) RunSeries(days []*SolarDay) (*SeriesResult, error) {
+	if r.mode != modePolicy {
+		return nil, fmt.Errorf("solarcore: RunSeries needs a WithPolicy runner (mode is %v)", r.mode)
+	}
+	alloc, err := allocByName(r.policy)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunMPPTSeries(r.runConfig(), alloc, days)
+}

@@ -1,0 +1,307 @@
+package solarcore_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"solarcore"
+	"solarcore/internal/power"
+)
+
+func testDay(t *testing.T) (*solarcore.SolarDay, solarcore.Mix) {
+	t.Helper()
+	trace := solarcore.GenerateWeather(solarcore.AZ, solarcore.Apr, 0)
+	day, err := solarcore.NewDay(trace, solarcore.BP3180N(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := solarcore.MixByName("HM2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return day, mix
+}
+
+// TestRunnerFacadeCompat pins the deprecated wrappers to the Runner: each
+// historical entry point and its Runner equivalent must produce identical
+// results from identical inputs.
+func TestRunnerFacadeCompat(t *testing.T) {
+	day, mix := testDay(t)
+	cfg := solarcore.Config{Day: day, Mix: mix, StepMin: 2, KeepSeries: true}
+
+	run := func(opt solarcore.RunnerOption) *solarcore.DayResult {
+		r, err := solarcore.NewRunner(cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	t.Run("Run", func(t *testing.T) {
+		want, err := solarcore.Run(cfg, solarcore.PolicyRR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run(solarcore.WithPolicy(solarcore.PolicyRR)); !reflect.DeepEqual(got, want) {
+			t.Errorf("Runner diverges from Run:\n got %+v\nwant %+v", got, want)
+		}
+	})
+	t.Run("DefaultMode", func(t *testing.T) {
+		// No mode option means the paper's headline policy.
+		want, err := solarcore.Run(cfg, solarcore.PolicyOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := solarcore.NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Error("default-mode Runner diverges from Run(PolicyOpt)")
+		}
+	})
+	t.Run("RunFixedPower", func(t *testing.T) {
+		want, err := solarcore.RunFixedPower(cfg, 75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run(solarcore.WithFixedBudget(75)); !reflect.DeepEqual(got, want) {
+			t.Error("Runner diverges from RunFixedPower")
+		}
+	})
+	t.Run("RunBattery", func(t *testing.T) {
+		want, err := solarcore.RunBattery(cfg, solarcore.BatteryUpperEff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run(solarcore.WithBattery(solarcore.BatteryUpperEff)); !reflect.DeepEqual(got, want) {
+			t.Error("Runner diverges from RunBattery")
+		}
+	})
+	t.Run("RunBatteryBank", func(t *testing.T) {
+		// The bank is stateful, so each side gets a fresh one from the
+		// same spec.
+		bankA, err := solarcore.NewBank(solarcore.LeadAcidBank(900))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := solarcore.RunBatteryBank(cfg, bankA, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bankB, err := solarcore.NewBank(solarcore.LeadAcidBank(900))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := solarcore.NewRunner(cfg, solarcore.WithBank(bankB, 0.95))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.RunBank()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Error("Runner diverges from RunBatteryBank")
+		}
+	})
+	t.Run("RunSeries", func(t *testing.T) {
+		days := []*solarcore.SolarDay{day, day}
+		want, err := solarcore.RunSeries(cfg, solarcore.PolicyIC, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := solarcore.NewRunner(cfg, solarcore.WithPolicy(solarcore.PolicyIC))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.RunSeries(days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Error("Runner diverges from RunSeries")
+		}
+	})
+}
+
+// TestErrUnknownPolicy checks that every name-resolving entry point wraps
+// the sentinel and preserves the historical message shape.
+func TestErrUnknownPolicy(t *testing.T) {
+	day, mix := testDay(t)
+	cfg := solarcore.Config{Day: day, Mix: mix, StepMin: 2}
+
+	if _, err := solarcore.NewRunner(cfg, solarcore.WithPolicy("MPPT&Magic")); !errors.Is(err, solarcore.ErrUnknownPolicy) {
+		t.Errorf("NewRunner: %v", err)
+	} else if want := `solarcore: unknown policy "MPPT&Magic"`; !strings.Contains(err.Error(), want) {
+		t.Errorf("NewRunner error %q does not contain %q", err, want)
+	}
+	if _, err := solarcore.Run(cfg, "MPPT&Magic"); !errors.Is(err, solarcore.ErrUnknownPolicy) {
+		t.Errorf("Run: %v", err)
+	}
+	if _, err := solarcore.RunSeries(cfg, "MPPT&Magic", []*solarcore.SolarDay{day}); !errors.Is(err, solarcore.ErrUnknownPolicy) {
+		t.Errorf("RunSeries: %v", err)
+	}
+	circuit := power.NewCircuit(solarcore.NewModule(solarcore.BP3180N()))
+	chip, err := solarcore.NewChip(solarcore.DefaultChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solarcore.NewController(circuit, chip, "MPPT&Magic", solarcore.ControllerConfig{}); !errors.Is(err, solarcore.ErrUnknownPolicy) {
+		t.Errorf("NewController: %v", err)
+	}
+}
+
+func TestRunnerModeConflict(t *testing.T) {
+	day, mix := testDay(t)
+	cfg := solarcore.Config{Day: day, Mix: mix}
+	_, err := solarcore.NewRunner(cfg,
+		solarcore.WithPolicy(solarcore.PolicyOpt), solarcore.WithFixedBudget(75))
+	if err == nil {
+		t.Fatal("conflicting modes should error")
+	}
+	if !strings.Contains(err.Error(), "WithPolicy") || !strings.Contains(err.Error(), "WithFixedBudget") {
+		t.Errorf("conflict error should name both options: %v", err)
+	}
+}
+
+func TestRunnerWrongModeMethods(t *testing.T) {
+	day, mix := testDay(t)
+	cfg := solarcore.Config{Day: day, Mix: mix, StepMin: 2}
+	r, err := solarcore.NewRunner(cfg, solarcore.WithFixedBudget(75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunBank(); err == nil {
+		t.Error("RunBank outside WithBank mode should error")
+	}
+	if _, err := r.RunSeries([]*solarcore.SolarDay{day}); err == nil {
+		t.Error("RunSeries outside WithPolicy mode should error")
+	}
+}
+
+// TestRunnerContextCancel checks that a canceled context yields the
+// wrapped context error and no partial result, on every mode.
+func TestRunnerContextCancel(t *testing.T) {
+	day, mix := testDay(t)
+	cfg := solarcore.Config{Day: day, Mix: mix, StepMin: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	modes := map[string]solarcore.RunnerOption{
+		"policy":  solarcore.WithPolicy(solarcore.PolicyOpt),
+		"fixed":   solarcore.WithFixedBudget(75),
+		"battery": solarcore.WithBattery(solarcore.BatteryUpperEff),
+	}
+	for name, opt := range modes {
+		t.Run(name, func(t *testing.T) {
+			r, err := solarcore.NewRunner(cfg, opt, solarcore.WithContext(ctx))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run()
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("err = %v, want context.Canceled", err)
+			}
+			if res != nil {
+				t.Error("canceled run must not return a partial result")
+			}
+		})
+	}
+	t.Run("bank", func(t *testing.T) {
+		bank, err := solarcore.NewBank(solarcore.LeadAcidBank(900))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := solarcore.NewRunner(cfg, solarcore.WithBank(bank, 0.95), solarcore.WithContext(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunBank()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		if res != nil {
+			t.Error("canceled bank run must not return a partial result")
+		}
+	})
+	t.Run("series", func(t *testing.T) {
+		r, err := solarcore.NewRunner(cfg, solarcore.WithContext(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunSeries([]*solarcore.SolarDay{day})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		if res != nil {
+			t.Error("canceled series must not return a partial result")
+		}
+	})
+}
+
+// TestRunnerObservability drives a run through the public observability
+// surface: a JSONL sink whose output round-trips through ReadEvents and a
+// metrics registry that accounts the run.
+func TestRunnerObservability(t *testing.T) {
+	day, mix := testDay(t)
+	cfg := solarcore.Config{Day: day, Mix: mix, StepMin: 2}
+
+	var buf bytes.Buffer
+	sink := solarcore.NewJSONLSink(&buf)
+	reg := solarcore.NewRegistry()
+	r, err := solarcore.NewRunner(cfg,
+		solarcore.WithObserver(sink),
+		solarcore.WithObserver(solarcore.MetricsObserver(reg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := solarcore.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("only %d events", len(events))
+	}
+	if events[0].Type != "run_start" || events[len(events)-1].Type != "run_end" {
+		t.Errorf("stream must open with run_start and close with run_end, got %s..%s",
+			events[0].Type, events[len(events)-1].Type)
+	}
+	end := events[len(events)-1].RunEnd
+	if end.SolarWh != res.SolarWh || end.UtilityWh != res.UtilityWh {
+		t.Errorf("run_end energy %v/%v diverges from DayResult %v/%v",
+			end.SolarWh, end.UtilityWh, res.SolarWh, res.UtilityWh)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["runs_total"] != 1 {
+		t.Errorf("runs_total = %v", snap.Counters["runs_total"])
+	}
+	if snap.Counters["solar_wh_total"] != res.SolarWh {
+		t.Errorf("solar_wh_total = %v, want %v", snap.Counters["solar_wh_total"], res.SolarWh)
+	}
+	merged := solarcore.MergeMetrics(snap, snap)
+	if merged.Counters["runs_total"] != 2 {
+		t.Errorf("merged runs_total = %v", merged.Counters["runs_total"])
+	}
+}

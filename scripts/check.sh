@@ -22,7 +22,10 @@ go vet ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race (exp, sim, dc, lint)'
-go test -race ./internal/exp ./internal/sim ./internal/dc ./internal/lint
+echo '== go test -race (root, exp, sim, dc, obs, lint)'
+go test -race . ./internal/exp ./internal/sim ./internal/dc ./internal/obs ./internal/lint
+
+echo '== observer overhead bench (smoke)'
+go test -run '^$' -bench 'BenchmarkRunMPPT(NopObserver)?$' -benchtime=1x .
 
 echo 'OK'

@@ -20,17 +20,18 @@
 //     utilization, tracking error, effective duration, performance-time
 //     product).
 //
-// Quick start:
+// Quick start (the Runner is the unified entry point; see NewRunner):
 //
 //	trace := solarcore.GenerateWeather(solarcore.AZ, solarcore.Jul, 0)
 //	day, _ := solarcore.NewDay(trace, solarcore.BP3180N(), 1, 1)
 //	mix, _ := solarcore.MixByName("HM2")
-//	res, _ := solarcore.Run(solarcore.Config{Day: day, Mix: mix}, solarcore.PolicyOpt)
+//	runner, _ := solarcore.NewRunner(solarcore.Config{Day: day, Mix: mix},
+//	        solarcore.WithPolicy(solarcore.PolicyOpt))
+//	res, _ := runner.Run()
 //	fmt.Printf("utilization %.0f%%\n", res.Utilization()*100)
 package solarcore
 
 import (
-	"fmt"
 	"io"
 
 	"solarcore/internal/atmos"
@@ -183,15 +184,16 @@ const (
 	PolicyOpt = "MPPT&Opt"
 )
 
-// Policies lists the MPPT load-adaptation policies in the paper's order.
-func Policies() []string { return []string{PolicyIC, PolicyRR, PolicyOpt} }
+// Policies lists the MPPT load-adaptation policies in the paper's order;
+// sched.Names is the single source of truth for the set.
+func Policies() []string { return sched.Names() }
 
 // NewController wires a SolarCore controller over a circuit, chip and
-// policy name.
+// policy name. An unrecognized name reports ErrUnknownPolicy.
 func NewController(circuit *Circuit, chip *Chip, policy string, cfg ControllerConfig) (*Controller, error) {
-	alloc, ok := sched.ByName(policy)
-	if !ok {
-		return nil, fmt.Errorf("solarcore: unknown policy %q (want one of %v)", policy, Policies())
+	alloc, err := allocByName(policy)
+	if err != nil {
+		return nil, err
 	}
 	return mppt.New(circuit, chip, alloc, cfg)
 }
@@ -292,12 +294,15 @@ type SeriesResult = sim.SeriesResult
 
 // RunSeries simulates consecutive days under one MPPT policy; the base
 // config's Day field is overridden per day.
+//
+// Deprecated: use NewRunner with WithPolicy and Runner.RunSeries, which
+// additionally supports observers and context cancellation.
 func RunSeries(base Config, policy string, days []*SolarDay) (*SeriesResult, error) {
-	alloc, ok := sched.ByName(policy)
-	if !ok {
-		return nil, fmt.Errorf("solarcore: unknown policy %q (want one of %v)", policy, Policies())
+	r, err := NewRunner(base, WithPolicy(policy))
+	if err != nil {
+		return nil, err
 	}
-	return sim.RunMPPTSeries(base, alloc, days)
+	return r.RunSeries(days)
 }
 
 // NewDay binds a weather trace to a series×parallel array of the given
@@ -308,24 +313,39 @@ func NewDay(tr *Trace, params ModuleParams, series, parallel int) (*SolarDay, er
 
 // Run simulates one day under SolarCore management with a Table 6 policy
 // name (PolicyIC, PolicyRR or PolicyOpt).
+//
+// Deprecated: use NewRunner with WithPolicy and Runner.Run, which
+// additionally supports observers and context cancellation.
 func Run(cfg Config, policy string) (*DayResult, error) {
-	alloc, ok := sched.ByName(policy)
-	if !ok {
-		return nil, fmt.Errorf("solarcore: unknown policy %q (want one of %v)", policy, Policies())
+	r, err := NewRunner(cfg, WithPolicy(policy))
+	if err != nil {
+		return nil, err
 	}
-	return sim.RunMPPT(cfg, alloc)
+	return r.Run()
 }
 
 // RunFixedPower simulates one day under the non-tracking fixed-budget
 // baseline.
+//
+// Deprecated: use NewRunner with WithFixedBudget and Runner.Run.
 func RunFixedPower(cfg Config, budgetW float64) (*DayResult, error) {
-	return sim.RunFixed(cfg, budgetW)
+	r, err := NewRunner(cfg, WithFixedBudget(budgetW))
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
 }
 
 // RunBattery simulates one day of the battery-equipped baseline at the
 // given overall conversion efficiency (e.g. BatteryUpperEff).
+//
+// Deprecated: use NewRunner with WithBattery and Runner.Run.
 func RunBattery(cfg Config, eff float64) (*DayResult, error) {
-	return sim.RunBattery(cfg, eff)
+	r, err := NewRunner(cfg, WithBattery(eff))
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
 }
 
 // BankDayResult extends DayResult with battery-bank diagnostics.
@@ -340,6 +360,12 @@ func NewBank(cfg BankConfig) (*Bank, error) { return power.NewBank(cfg) }
 // RunBatteryBank simulates one day of a realistic battery-equipped
 // standalone system against a persistent bank, exposing rate limits,
 // conversion losses, self-discharge and cycling wear.
+//
+// Deprecated: use NewRunner with WithBank and Runner.RunBank.
 func RunBatteryBank(cfg Config, bank *Bank, trackingEff float64) (*BankDayResult, error) {
-	return sim.RunBatteryBank(cfg, bank, trackingEff)
+	r, err := NewRunner(cfg, WithBank(bank, trackingEff))
+	if err != nil {
+		return nil, err
+	}
+	return r.RunBank()
 }
