@@ -239,6 +239,25 @@ func BenchmarkRunMPPTNopObserver(b *testing.B) {
 	}
 }
 
+// BenchmarkRunMPPTDisarmedFaults runs the same day with a zero-intensity
+// fault schedule attached. A disarmed schedule resolves to a nil runtime
+// and the exact clean code path, so DESIGN.md §11 budgets this within the
+// same under-5% envelope as the no-op observer (compare against
+// BenchmarkRunMPPT).
+func BenchmarkRunMPPTDisarmedFaults(b *testing.B) {
+	s, err := solarcore.ParseFaults("cloud:t0=600,t1=720,i=0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchRunner(b, solarcore.WithFaults(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkWeatherGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -122,6 +122,14 @@ func main() {
 		rb := exp.Robustness(opts, 3)
 		fmt.Println(rb.Render())
 		csvFiles["robustness.csv"] = rb.CSV()
+		for _, kind := range []string{"cloud", "sensor-drop"} {
+			fsw, err := exp.FaultSweep(opts, kind)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(fsw.Render())
+			csvFiles["fault_sweep_"+kind+".csv"] = fsw.CSV()
+		}
 	}
 
 	if *csvDir != "" {

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run with captured output.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestBadFaultSpecExitsNonZero(t *testing.T) {
+	code, out, errs := runCLI("-faults", "warp-core:t0=0,t1=10,i=1")
+	if code == 0 {
+		t.Fatalf("exit code 0 for malformed -faults; stderr: %q", errs)
+	}
+	if out != "" {
+		t.Errorf("malformed -faults produced stdout before failing: %q", out)
+	}
+	if !strings.Contains(errs, "cloud") {
+		t.Errorf("error does not list the known fault kinds: %q", errs)
+	}
+}
+
+func TestUnknownSeasonExitsNonZero(t *testing.T) {
+	if code, out, errs := runCLI("-season", "Mud"); code == 0 || errs == "" {
+		t.Fatalf("code=%d stderr=%q stdout=%q for unknown season", code, errs, out)
+	}
+}
+
+func TestCleanRunExitsZero(t *testing.T) {
+	code, out, errs := runCLI("-nodes", "2", "-panels", "2", "-step", "8")
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr: %q", code, errs)
+	}
+	for _, want := range []string{"cluster", "solar energy", "midday allocation snapshot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultedRunPrintsWindows(t *testing.T) {
+	code, out, errs := runCLI("-nodes", "2", "-panels", "2", "-step", "8",
+		"-faults", "cloud:t0=600,t1=720,i=0.9")
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr: %q", code, errs)
+	}
+	if !strings.Contains(out, "injection windows") {
+		t.Errorf("faulted run did not report fault windows:\n%s", out)
+	}
+}
+
+func TestMultiDayRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day fleet run")
+	}
+	code, out, errs := runCLI("-nodes", "2", "-panels", "2", "-step", "8", "-days", "3")
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr: %q", code, errs)
+	}
+	if !strings.Contains(out, "total") || !strings.Contains(out, "over 3 days (0 failed)") {
+		t.Errorf("multi-day output missing totals:\n%s", out)
+	}
+	if n := strings.Count(out, "\n"); n < 5 {
+		t.Errorf("expected per-day rows, got:\n%s", out)
+	}
+}

@@ -278,6 +278,9 @@ type DayResult struct {
 	// MeanActiveNodes is the time-average of the active node count while
 	// solar-powered.
 	MeanActiveNodes float64
+	// FaultWindows counts fault windows opened over the day (zero except
+	// under RunDayFaults with an armed schedule).
+	FaultWindows int
 	// PerNode breaks energy and work down by server.
 	PerNode []NodeDayResult
 }
@@ -305,6 +308,14 @@ func (r DayResult) Utilization() float64 {
 //
 // unit: stepMin=min
 func RunDay(day *sim.SolarDay, c *Cluster, stepMin float64) DayResult {
+	return runDay(day, c, stepMin, nil)
+}
+
+// runDay is the common day loop behind RunDay and RunDayFaults; a nil
+// fault state takes the exact clean code path.
+//
+// unit: stepMin=min
+func runDay(day *sim.SolarDay, c *Cluster, stepMin float64, cf *clusterFaults) DayResult {
 	if stepMin <= 0 {
 		stepMin = 1
 	}
@@ -320,10 +331,19 @@ func RunDay(day *sim.SolarDay, c *Cluster, stepMin float64) DayResult {
 	start, end := day.StartMinute(), day.EndMinute()
 	for t0 := start; t0 < end; t0 += trackPeriod {
 		t1 := math.Min(t0+trackPeriod, end)
-		c.FillBudget(t0, eta*day.MPPAt(t0)*0.95)
+		refill := eta * day.MPPAt(t0) * 0.95
+		if cf != nil {
+			cf.applyAt(t0, c)
+			refill *= cf.budgetScale(t0)
+		}
+		c.FillBudget(t0, refill)
 		for t := t0; t < t1-1e-9; t += stepMin {
 			dt := math.Min(stepMin, t1-t)
 			budget := eta * day.MPPAt(t)
+			if cf != nil {
+				cf.applyAt(t, c)
+				budget *= cf.budgetScale(t)
+			}
 			p := c.Power(t)
 			for p > budget {
 				if !c.Lower(t) {
@@ -351,6 +371,10 @@ func RunDay(day *sim.SolarDay, c *Cluster, stepMin float64) DayResult {
 	}
 	if activeN > 0 {
 		res.MeanActiveNodes = activeSum / float64(activeN)
+	}
+	if cf != nil {
+		cf.uncap(c) // don't leave mid-window caps on a reused cluster
+		res.FaultWindows = cf.windows
 	}
 	return res
 }

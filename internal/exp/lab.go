@@ -7,12 +7,14 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"solarcore/internal/atmos"
+	"solarcore/internal/fault"
 	"solarcore/internal/obs"
 	"solarcore/internal/power"
 	"solarcore/internal/pv"
@@ -29,6 +31,13 @@ type Options struct {
 	Quick bool
 	// Day selects the generated weather day within each period.
 	Day int
+	// Faults, when armed, applies the fault schedule to every run the lab
+	// performs; the schedule tag becomes part of the cache keys, so one
+	// lab can serve faulted and clean grids without cross-talk.
+	Faults *fault.Schedule
+	// Watchdog tunes the degradation state machine of faulted runs (the
+	// zero value takes the DESIGN.md §11 defaults).
+	Watchdog fault.WatchdogConfig
 }
 
 func (o Options) stepMin() float64 {
@@ -155,12 +164,23 @@ func (l *Lab) config(site atmos.Site, season atmos.Season, mix workload.Mix, kee
 		Mix:        mix,
 		StepMin:    l.Opts.stepMin(),
 		KeepSeries: keepSeries,
+		Faults:     l.Opts.Faults,
+		Watchdog:   l.Opts.Watchdog,
 	}
+}
+
+// faultTag is the cache-key suffix identifying the lab's fault schedule
+// ("" when disarmed), keeping faulted and clean cells apart.
+func (l *Lab) faultTag() string {
+	if tag := l.Opts.Faults.Tag(); tag != "" {
+		return "|" + tag
+	}
+	return ""
 }
 
 // MPPT runs (or recalls) a SolarCore day under the named Table 6 policy.
 func (l *Lab) MPPT(site atmos.Site, season atmos.Season, mix workload.Mix, policy string) *sim.DayResult {
-	key := fmt.Sprintf("%s|%s|%s|%s", site.Code, season, mix.Name, policy)
+	key := fmt.Sprintf("%s|%s|%s|%s%s", site.Code, season, mix.Name, policy, l.faultTag())
 	return l.cell(key, func() *sim.DayResult {
 		alloc, ok := sched.ByName(policy)
 		if !ok {
@@ -190,7 +210,7 @@ func (l *Lab) MPPTSeries(site atmos.Site, season atmos.Season, mix workload.Mix,
 
 // Fixed runs (or recalls) a Fixed-Power day at the given budget.
 func (l *Lab) Fixed(site atmos.Site, season atmos.Season, mix workload.Mix, budgetW float64) *sim.DayResult {
-	key := fmt.Sprintf("%s|%s|%s|fixed%g", site.Code, season, mix.Name, budgetW)
+	key := fmt.Sprintf("%s|%s|%s|fixed%g%s", site.Code, season, mix.Name, budgetW, l.faultTag())
 	return l.cell(key, func() *sim.DayResult {
 		r, err := sim.RunFixed(l.config(site, season, mix, false), budgetW)
 		if err != nil {
@@ -203,7 +223,7 @@ func (l *Lab) Fixed(site atmos.Site, season atmos.Season, mix workload.Mix, budg
 // Battery runs (or recalls) a battery-baseline day at the given overall
 // conversion efficiency.
 func (l *Lab) Battery(site atmos.Site, season atmos.Season, mix workload.Mix, eff float64) *sim.DayResult {
-	key := fmt.Sprintf("%s|%s|%s|bat%g", site.Code, season, mix.Name, eff)
+	key := fmt.Sprintf("%s|%s|%s|bat%g%s", site.Code, season, mix.Name, eff, l.faultTag())
 	return l.cell(key, func() *sim.DayResult {
 		r, err := sim.RunBattery(l.config(site, season, mix, false), eff)
 		if err != nil {
@@ -220,9 +240,10 @@ var MPPTPolicies = []string{"MPPT&IC", "MPPT&RR", "MPPT&Opt"}
 var BatteryEffs = []float64{power.BatteryUpperEff, power.BatteryLowerEff}
 
 // parallelCtx runs fn(i) for i in [0,n) on all cores and waits. A
-// cancellation on ctx stops feeding new jobs (in-flight ones finish) and
-// the wrapped context error is returned.
-func parallelCtx(ctx context.Context, n int, fn func(i int)) error {
+// cancellation on ctx stops feeding new jobs (in-flight ones finish).
+// Worker errors are joined with the context error, so one failed cell
+// never loses the others' results and never kills the process.
+func parallelCtx(ctx context.Context, n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -231,29 +252,36 @@ func parallelCtx(ctx context.Context, n int, fn func(i int)) error {
 		workers = 1
 	}
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				if err := fn(i); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				}
 			}
 		}()
 	}
-	var err error
 feed:
 	for i := 0; i < n; i++ {
 		select {
 		case <-ctx.Done():
-			err = ctx.Err()
+			mu.Lock()
+			errs = append(errs, ctx.Err())
+			mu.Unlock()
 			break feed
 		case next <- i:
 		}
 	}
 	close(next)
 	wg.Wait()
-	return err
+	return errors.Join(errs...)
 }
 
 // Prefetch computes the full MPPT policy grid (site × season × mix ×
@@ -264,7 +292,10 @@ func (l *Lab) Prefetch() {
 
 // PrefetchContext is Prefetch under a cancellation context: when ctx is
 // canceled the sweep stops scheduling new cells (already-running ones
-// complete and stay cached) and the wrapped context error is returned.
+// complete and stay cached) and the wrapped context error is returned. A
+// cell that panics (a broken policy, a pathological day) is contained in
+// its worker and surfaces as an error naming the cell; the rest of the
+// grid still completes and stays cached.
 func (l *Lab) PrefetchContext(ctx context.Context) error {
 	type job struct {
 		site   atmos.Site
@@ -287,11 +318,18 @@ func (l *Lab) PrefetchContext(ctx context.Context) error {
 			}
 		}
 	}
-	if err := parallelCtx(ctx, len(jobs), func(i int) {
+	if err := parallelCtx(ctx, len(jobs), func(i int) (err error) {
 		j := jobs[i]
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("exp: prefetch cell %s/%s/%s/%s: %v",
+					j.site.Code, j.season, j.mix.Name, j.policy, r)
+			}
+		}()
 		l.MPPT(j.site, j.season, j.mix, j.policy)
+		return nil
 	}); err != nil {
-		return fmt.Errorf("exp: prefetch canceled: %w", err)
+		return fmt.Errorf("exp: prefetch: %w", err)
 	}
 	return nil
 }

@@ -35,6 +35,11 @@ type Chip struct {
 	cfg      Config
 	levels   []int
 	activity []Activity
+	// caps bounds each core's reachable operating point: top (the
+	// default) is unconstrained, Gated marks a failed core forced off.
+	// The fault-injection layer (internal/fault) drives this; nil means
+	// no cap was ever installed and every fast path skips the checks.
+	caps []int
 
 	transitions uint64
 }
@@ -78,6 +83,9 @@ func (c *Chip) NumLevels() int { return len(c.cfg.Points) }
 func (c *Chip) Level(core int) int { return c.levels[core] }
 
 // SetLevel sets a core's operating point; Gated powers the core down.
+// A request above the core's installed level cap (see SetLevelCap) is
+// silently clamped to the cap — the hardware ignores programming of a
+// failed or force-throttled core, it does not fault the caller.
 func (c *Chip) SetLevel(core, level int) error {
 	if core < 0 || core >= c.cfg.Cores {
 		return fmt.Errorf("mcore: core %d out of range", core)
@@ -85,10 +93,55 @@ func (c *Chip) SetLevel(core, level int) error {
 	if level != Gated && (level < 0 || level >= len(c.cfg.Points)) {
 		return fmt.Errorf("mcore: level %d out of range", level)
 	}
+	if cap := c.levelCap(core); level > cap {
+		level = cap
+	}
 	if c.levels[core] != level {
 		c.transitions++
 	}
 	c.levels[core] = level
+	return nil
+}
+
+// levelCap returns the core's effective cap: top when none installed.
+func (c *Chip) levelCap(core int) int {
+	if c.caps == nil {
+		return len(c.cfg.Points) - 1
+	}
+	return c.caps[core]
+}
+
+// LevelCap returns the core's installed operating-point cap: the top
+// level when unconstrained, Gated for a failed core.
+func (c *Chip) LevelCap(core int) int { return c.levelCap(core) }
+
+// SetLevelCap bounds a core's reachable operating point: StepUp stops at
+// the cap and SetLevel requests above it clamp down. cap = NumLevels()-1
+// removes the constraint; cap = Gated fails the core off entirely. A
+// core currently above the new cap is immediately forced down (counting
+// the DVFS transition, as the hardware's emergency clamp would).
+func (c *Chip) SetLevelCap(core, cap int) error {
+	if core < 0 || core >= c.cfg.Cores {
+		return fmt.Errorf("mcore: core %d out of range", core)
+	}
+	top := len(c.cfg.Points) - 1
+	if cap != Gated && (cap < 0 || cap > top) {
+		return fmt.Errorf("mcore: level cap %d out of range", cap)
+	}
+	if c.caps == nil {
+		if cap == top {
+			return nil // installing the default is a no-op
+		}
+		c.caps = make([]int, c.cfg.Cores)
+		for i := range c.caps {
+			c.caps[i] = top
+		}
+	}
+	c.caps[core] = cap
+	if c.levels[core] > cap {
+		c.levels[core] = cap
+		c.transitions++
+	}
 	return nil
 }
 
@@ -115,19 +168,20 @@ func (c *Chip) SetActivity(core int, a Activity) error {
 }
 
 // StepUp raises a core one operating point (ungating it to the lowest point
-// first) and reports whether anything changed.
+// first) and reports whether anything changed. A core at its level cap —
+// including a failed core capped at Gated — refuses to move.
 func (c *Chip) StepUp(core int) bool {
 	switch {
+	case c.levels[core] >= c.levelCap(core):
+		return false
 	case c.levels[core] == Gated:
 		c.levels[core] = 0
 		c.transitions++
 		return true
-	case c.levels[core] < len(c.cfg.Points)-1:
+	default:
 		c.levels[core]++
 		c.transitions++
 		return true
-	default:
-		return false
 	}
 }
 

@@ -43,6 +43,12 @@ type Config struct {
 	SensorError float64
 	// SensorSeed seeds the noise stream (0 picks a fixed default).
 	SensorSeed int64
+	// SenseFault, when non-nil, transforms every sensor reading after the
+	// benign noise — the fault-injection hook (internal/fault) for
+	// stuck-at, bias-drift and dropout sensor faults. The controller only
+	// ever sees the transformed reading; the physical operating point is
+	// untouched.
+	SenseFault func(minute float64, op power.Operating) power.Operating
 	// RecordTrajectory retains the per-action (k, VLoad, PLoad) path of
 	// every tracking session in Result.Trajectory — the transient the
 	// flowchart of Figure 9 walks, made observable for analysis and tests.
@@ -152,6 +158,9 @@ func (c *Controller) operate(env pv.Env, minute float64) power.Operating {
 		op.VLoad *= 1 + e*(2*c.noise.Float64()-1)
 		op.ILoad *= 1 + e*(2*c.noise.Float64()-1)
 		op.PLoad = op.VLoad * op.ILoad
+	}
+	if c.Cfg.SenseFault != nil {
+		op = c.Cfg.SenseFault(minute, op)
 	}
 	if c.traj != nil {
 		*c.traj = append(*c.traj, TrajectoryPoint{K: c.Circuit.Conv.K, VLoad: op.VLoad, PLoad: op.PLoad})

@@ -3,6 +3,7 @@ package mppt
 import (
 	"testing"
 
+	"solarcore/internal/fault"
 	"solarcore/internal/pv"
 	"solarcore/internal/sched"
 )
@@ -65,5 +66,80 @@ func TestZeroNoiseHasNoRNG(t *testing.T) {
 	ctrl := rig(t, "H1", sched.OptTPR{}, Config{})
 	if ctrl.noise != nil {
 		t.Error("noise stream allocated for ideal sensors")
+	}
+}
+
+func TestStuckSensorRecoversAfterWindow(t *testing.T) {
+	// Stuck-at fault via the SenseFault hook: the controller is blind to
+	// every change after window entry at full intensity. Sessions inside
+	// the window may mis-settle, but none may panic, and once the window
+	// closes tracking must return to within tolerance of a clean
+	// controller driven over the same cadence.
+	env := pv.Env{Irradiance: 850, CellTemp: 30}
+	finalFrac := func(ctrl *Controller) float64 {
+		for m := 0.0; m < 200; m += 10 {
+			ctrl.Track(env, m) // faulted or not, must not panic
+		}
+		return ctrl.Track(env, 200).RaisedTo / ctrl.Circuit.AvailableMax(env)
+	}
+
+	clean := finalFrac(rig(t, "HM2", sched.OptTPR{}, Config{}))
+	rt := fault.NewSchedule(1,
+		&fault.SensorStuck{W: fault.Window{T0: 40, T1: 120}, I: 1}).Runtime()
+	faulted := finalFrac(rig(t, "HM2", sched.OptTPR{}, Config{SenseFault: rt.Sense}))
+	if faulted < clean-0.10 {
+		t.Errorf("post-recovery tracked fraction %.2f, clean %.2f: outside tolerance", faulted, clean)
+	}
+}
+
+func TestSensorDropoutTripsWatchdogWithinN(t *testing.T) {
+	// Dropout fault via the SenseFault hook, supervised the way the
+	// engine does it: under a total dropout the watchdog must trip into
+	// fallback within TripPeriods+1 tracked periods of the window
+	// opening, and graduate back to tracking after the window closes.
+	const t0, t1, period = 50.0, 150.0, 10.0
+	rt := fault.NewSchedule(3,
+		&fault.SensorDropout{W: fault.Window{T0: t0, T1: t1}, I: 1}).Runtime()
+	ctrl := rig(t, "HM2", sched.OptTPR{}, Config{SenseFault: rt.Sense})
+	wd := fault.NewWatchdog(fault.WatchdogConfig{})
+	env := pv.Env{Irradiance: 850, CellTemp: 30}
+
+	tripped := -1.0
+	for m := 0.0; m < 300; m += period {
+		if wd.Mode() == fault.ModeFallback {
+			wd.ObserveFallback(m)
+			continue
+		}
+		res := ctrl.Track(env, m)
+		wd.Observe(fault.PeriodStats{
+			Minute: m, Overload: res.Overload,
+			Steps: res.Steps, MaxSteps: ctrl.Cfg.MaxSteps,
+			RaisedToW: res.RaisedTo, SensedW: res.Op.PLoad,
+			BudgetW:  ctrl.Circuit.AvailableMax(env),
+			MinLoadW: ctrl.Chip.MinPower(m),
+		})
+		if tripped < 0 && wd.Mode() == fault.ModeFallback {
+			tripped = m
+		}
+	}
+	if tripped < 0 {
+		t.Fatal("watchdog never tripped under a total sensor dropout")
+	}
+	if maxTrip := t0 + period*float64(wd.Config().TripPeriods+1); tripped > maxTrip {
+		t.Errorf("tripped at minute %v, want within %v", tripped, maxTrip)
+	}
+	if wd.Mode() != fault.ModeTracking {
+		t.Errorf("watchdog stuck in %v after the window closed", wd.Mode())
+	}
+	if wd.RecoveryMin() <= 0 {
+		t.Error("no trip-to-recovery time recorded")
+	}
+
+	// Post-recovery utilization within tolerance of a clean controller.
+	clean := rig(t, "HM2", sched.OptTPR{}, Config{})
+	cleanFrac := clean.Track(env, 300).RaisedTo / clean.Circuit.AvailableMax(env)
+	got := ctrl.Track(env, 300).RaisedTo / ctrl.Circuit.AvailableMax(env)
+	if got < cleanFrac-0.10 {
+		t.Errorf("post-recovery tracked fraction %.2f, clean %.2f: outside tolerance", got, cleanFrac)
 	}
 }

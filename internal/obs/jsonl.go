@@ -20,6 +20,8 @@ const (
 	TypeAlloc    = "alloc"
 	TypeTick     = "tick"
 	TypeRunEnd   = "run_end"
+	TypeFault    = "fault"
+	TypeWatchdog = "watchdog"
 )
 
 // Event is the JSONL envelope: one line per hook invocation, with Type
@@ -38,6 +40,8 @@ type Event struct {
 	Alloc    *AllocEvent    `json:"alloc,omitempty"`
 	Tick     *TickEvent     `json:"tick,omitempty"`
 	RunEnd   *RunEndEvent   `json:"run_end,omitempty"`
+	Fault    *FaultEvent    `json:"fault,omitempty"`
+	Watchdog *WatchdogEvent `json:"watchdog,omitempty"`
 }
 
 // Validate checks the envelope invariants: a known schema version and
@@ -61,6 +65,12 @@ func (e Event) Validate() error {
 	}
 	if e.RunEnd != nil {
 		set = append(set, TypeRunEnd)
+	}
+	if e.Fault != nil {
+		set = append(set, TypeFault)
+	}
+	if e.Watchdog != nil {
+		set = append(set, TypeWatchdog)
 	}
 	if len(set) != 1 {
 		return fmt.Errorf("obs: event %q carries %d payloads (want exactly 1)", e.Type, len(set))

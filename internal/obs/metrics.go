@@ -93,4 +93,18 @@ func (m metricsObserver) OnRunEnd(ev RunEndEvent) {
 	m.reg.Add(MetricSolarMin, ev.SolarMin)
 	m.reg.Add(MetricTransitions, float64(ev.Transitions))
 	m.reg.Add(MetricATSSwitches, float64(ev.ATSSwitches))
+	// Fault-path counters are only touched when non-zero so they stay
+	// absent from clean-run snapshots (an Add materialises the counter).
+	if ev.BrownoutSheds > 0 {
+		m.reg.Add(MetricBrownoutSheds, float64(ev.BrownoutSheds))
+	}
+	if ev.FallbackPeriods > 0 {
+		m.reg.Add(MetricFallbackPeriods, float64(ev.FallbackPeriods))
+	}
+	if ev.SolverFaults > 0 {
+		m.reg.Add(MetricSolverFaults, float64(ev.SolverFaults))
+	}
+	if ev.RecoveryMin > 0 {
+		m.reg.Add(MetricRecoveryMin, ev.RecoveryMin)
+	}
 }

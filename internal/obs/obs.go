@@ -97,6 +97,10 @@ const (
 	AllocRaise = "raise"
 	// AllocRevert undoes a probing raise that overshot the budget.
 	AllocRevert = "revert"
+	// AllocBrownout is a brownout-guard shed: the rail voltage sagged
+	// below tolerance under an injected power-path fault and the engine
+	// shed load within the same sub-sample (DESIGN.md §11).
+	AllocBrownout = "brownout"
 )
 
 // AllocEvent reports one per-core DVFS move performed outside a tracking
@@ -146,6 +150,25 @@ type RunEndEvent struct {
 	Transitions uint64 `json:"transitions"`
 	// ATSSwitches counts automatic-transfer-switch supply transitions.
 	ATSSwitches int `json:"ats_switches"`
+
+	// Fault-path counters (DESIGN.md §11). All are zero — and omitted
+	// from the JSONL encoding — on fault-free runs, keeping clean traces
+	// byte-identical to pre-fault-layer streams.
+	//
+	// FaultsInjected counts fault window openings over the run.
+	FaultsInjected int `json:"faults_injected,omitempty"`
+	// BrownoutSheds counts brownout-guard load sheds.
+	BrownoutSheds int `json:"brownout_sheds,omitempty"`
+	// WatchdogTrips counts MPPT-supervision trips into fallback.
+	WatchdogTrips int `json:"watchdog_trips,omitempty"`
+	// FallbackPeriods counts tracking periods run on the de-rated
+	// Fixed-Power fallback budget.
+	FallbackPeriods int `json:"fallback_periods,omitempty"`
+	// SolverFaults counts typed solver faults absorbed instead of
+	// aborting the run.
+	SolverFaults int `json:"solver_faults,omitempty"`
+	// RecoveryMin totals trip-to-recovery durations (minutes).
+	RecoveryMin float64 `json:"recovery_min,omitempty"`
 }
 
 // Nop is the no-op Observer: every hook returns immediately. Attaching

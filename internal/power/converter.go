@@ -17,6 +17,12 @@ type Converter struct {
 	KMin, KMax float64 // ratio tuning range (dimensionless)
 	DeltaK     float64 // Δk perturbation step used by MPP tracking, ratio units
 	Efficiency float64 // power conversion efficiency, fraction in (0, 1]
+	// Locked jams the transfer ratio: Step and SetRatio become no-ops
+	// reporting no change. The fault-injection layer (internal/fault)
+	// sets it over a stuck-ratio fault window; the tracking controller
+	// observes exactly what real hardware would — a knob that stops
+	// responding.
+	Locked bool
 }
 
 // NewConverter returns a converter sized for stepping a ~25-45 V panel down
@@ -62,8 +68,11 @@ func (c *Converter) LoadCurrent(iPanel float64) float64 {
 }
 
 // Step adjusts k by n·Δk (n may be negative), clamping to the tuning range.
-// It reports whether k actually changed.
+// It reports whether k actually changed (always false while Locked).
 func (c *Converter) Step(n int) bool {
+	if c.Locked {
+		return false
+	}
 	next := c.K + float64(n)*c.DeltaK
 	if next < c.KMin {
 		next = c.KMin
@@ -76,10 +85,14 @@ func (c *Converter) Step(n int) bool {
 	return changed
 }
 
-// SetRatio sets k directly, clamped to the tuning range.
+// SetRatio sets k directly, clamped to the tuning range; a no-op while
+// Locked.
 //
 // unit: k=ratio
 func (c *Converter) SetRatio(k float64) {
+	if c.Locked {
+		return
+	}
 	if k < c.KMin {
 		k = c.KMin
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"solarcore/internal/fault"
 	"solarcore/internal/mathx"
 	"solarcore/internal/mcore"
 	"solarcore/internal/mppt"
@@ -51,6 +52,17 @@ type Config struct {
 	// SensorError injects multiplicative I/V sensor noise into the
 	// controller (see mppt.Config.SensorError).
 	SensorError float64
+	// Faults installs a deterministic fault-injection schedule (package
+	// fault): irradiance bursts, sensor faults, converter faults, core
+	// failures, string disconnects, solver faults. A nil or disarmed
+	// schedule (every intensity zero) leaves the run byte-identical to a
+	// fault-free one — the engine takes the exact clean code path.
+	Faults *fault.Schedule
+	// Watchdog tunes the MPPT supervision state machine that detects
+	// tracking malfunction under faults and falls back to a de-rated
+	// Fixed-Power budget (DESIGN.md §11). The zero value takes the
+	// defaults; it is only consulted when Faults is armed.
+	Watchdog fault.WatchdogConfig
 	// Thermal enables the per-core RC die-temperature model and throttle
 	// governor; nil runs thermally unconstrained (the paper's setting).
 	Thermal *thermal.Config
@@ -137,12 +149,19 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 	if cfg.DeltaK > 0 {
 		circuit.Conv.DeltaK = cfg.DeltaK
 	}
-	ctrl, err := mppt.New(circuit, chip, alloc, mppt.Config{
+	// fx is nil unless an armed fault schedule is installed; every fault
+	// touch point below is gated on it so the clean path is untouched.
+	fx := newFaultCtx(&cfg, circuit, circuit.Conv.Efficiency)
+	mcfg := mppt.Config{
 		MarginSteps: cfg.MarginSteps,
 		SensorError: cfg.SensorError,
 		ScanPoints:  cfg.ScanPoints,
 		Observer:    cfg.Observer,
-	})
+	}
+	if fx != nil {
+		mcfg.SenseFault = fx.rt.Sense
+	}
+	ctrl, err := mppt.New(circuit, chip, alloc, mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +186,12 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 		})
 	}
 	eta := circuit.Conv.Efficiency
+	// envAt and budgetAt route through the fault runtime when a schedule
+	// is armed; otherwise they are the clean day profile.
+	envAt, budgetAt := cfg.Day.EnvAt, func(t float64) float64 { return eta * cfg.Day.MPPAt(t) }
+	if fx != nil {
+		envAt, budgetAt = fx.envAt, fx.budgetAt
+	}
 	var meter power.EnergyMeter
 	ats := power.NewTransferSwitch(power.Utility)
 	top := chip.NumLevels() - 1
@@ -187,9 +212,33 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 			return nil, err
 		}
 		t1 := math.Min(t0+cfg.TrackPeriodMin, end)
-		track := ctrl.Track(cfg.Day.EnvAt(t0), t0)
+		if fx != nil {
+			fx.applyAt(t0, chip)
+			if fx.wd.Mode() == fault.ModeFallback {
+				// Degraded operation: the watchdog abandoned tracking, so
+				// this period runs on the de-rated Fixed-Power budget.
+				runFallbackPeriod(&cfg, fx, chip, &meter, ats, res, t0, t1)
+				prevDemand = 0
+				continue
+			}
+		}
+		var track mppt.Result
+		var solverErr error
+		if fx != nil {
+			solverErr = fx.rt.SolverErr(t0)
+		}
+		if solverErr != nil {
+			// A typed solver fault (errors.Is fault.ErrSolverFault) is a
+			// degradation trigger, not an abort: the period runs on the
+			// utility like an overload and the watchdog counts it toward
+			// tripping into fallback.
+			fx.report.SolverFaults++
+			track = mppt.Result{Overload: true}
+		} else {
+			track = ctrl.Track(envAt(t0), t0)
+		}
 		onSolar := track.Solar()
-		trackBudget := eta * cfg.Day.MPPAt(t0)
+		trackBudget := budgetAt(t0)
 		prevDemand = 0 // tracking moved the levels; restart ripple pairing
 		if !onSolar {
 			res.Overloads++
@@ -199,10 +248,13 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 		var errs []float64
 		for t := t0; t < t1-1e-9; t += cfg.StepMin {
 			dt := math.Min(cfg.StepMin, t1-t)
-			budget := eta * cfg.Day.MPPAt(t)
+			if fx != nil {
+				fx.applyAt(t, chip)
+			}
+			budget := budgetAt(t)
 			if cfg.EventTracking && trackBudget > 0 &&
 				math.Abs(budget-trackBudget) > 0.15*trackBudget {
-				track = ctrl.Track(cfg.Day.EnvAt(t), t)
+				track = ctrl.Track(envAt(t), t)
 				onSolar = track.Solar()
 				trackBudget = budget
 				prevDemand = 0
@@ -257,6 +309,12 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 					}
 				}
 			}
+			if fx != nil && onSolar && demand > 0 && fx.rt.PowerPathActive(t) {
+				// Brownout guard: an injected power-path fault can leave
+				// the settled rail sagging even under the budget; shed
+				// within this sub-sample rather than ride the sag.
+				demand = fx.brownout(t, circuit, chip, alloc, demand)
+			}
 			if thermalModel != nil {
 				// Sub-step at the thermal time constant so the governor can
 				// intervene during the transient, as a real ms-scale
@@ -301,6 +359,20 @@ func RunMPPT(cfg Config, alloc sched.Allocator) (*DayResult, error) {
 		if onSolar && len(errs) > 0 {
 			res.PeriodErrs = append(res.PeriodErrs, mathx.Mean(errs))
 		}
+		if fx != nil {
+			// Feed the period's health evidence to the watchdog; a trip
+			// makes the next period run in fallback.
+			fx.observe(fault.PeriodStats{
+				Minute: t0, Overload: track.Overload,
+				Steps: track.Steps, MaxSteps: ctrl.Cfg.MaxSteps,
+				RaisedToW: track.RaisedTo, SensedW: track.Op.PLoad,
+				BudgetW: trackBudget, MinLoadW: chip.MinPower(t0),
+				SolverFault: solverErr != nil,
+			}, fx.wd.Config().Derate*trackBudget)
+		}
+	}
+	if fx != nil {
+		res.Faults = fx.finish(end)
 	}
 	res.SolarWh = meter.EnergyWh(power.Solar)
 	res.UtilityWh = meter.EnergyWh(power.Utility)
@@ -342,6 +414,13 @@ func runEndEvent(runner string, res *DayResult) obs.RunEndEvent {
 		Overloads:   res.Overloads,
 		Transitions: res.Transitions,
 		ATSSwitches: res.ATSSwitches,
+		// Zero on fault-free runs, so the encoded event is unchanged.
+		FaultsInjected:  res.Faults.Injected,
+		BrownoutSheds:   res.Faults.BrownoutSheds,
+		WatchdogTrips:   res.Faults.WatchdogTrips,
+		FallbackPeriods: res.Faults.FallbackPeriods,
+		SolverFaults:    res.Faults.SolverFaults,
+		RecoveryMin:     res.Faults.RecoveryMin,
 	}
 }
 
@@ -362,6 +441,13 @@ func RunFixed(cfg Config, budgetW float64) (*DayResult, error) {
 	}
 	conv := power.NewConverter()
 	eta := conv.Efficiency
+	// The fixed baseline has no tracker, so only power-path faults and
+	// core constraints apply; availAt routes through the fault runtime.
+	fx := newFaultCtx(&cfg, nil, eta)
+	availAt := func(t float64) float64 { return eta * cfg.Day.MPPAt(t) }
+	if fx != nil {
+		availAt = fx.budgetAt
+	}
 
 	res := newResult(cfg, "Fixed-Power")
 	res.Policy = fmt.Sprintf("Fixed-Power(%gW)", budgetW)
@@ -381,10 +467,16 @@ func RunFixed(cfg Config, budgetW float64) (*DayResult, error) {
 			return nil, err
 		}
 		t1 := math.Min(t0+cfg.TrackPeriodMin, end)
+		if fx != nil {
+			fx.applyAt(t0, chip)
+		}
 		sched.PlanBudget(chip, t0, budgetW)
 		for t := t0; t < t1-1e-9; t += cfg.StepMin {
 			dt := math.Min(cfg.StepMin, t1-t)
-			avail := eta * cfg.Day.MPPAt(t)
+			if fx != nil {
+				fx.applyAt(t, chip)
+			}
+			avail := availAt(t)
 			demand := chip.Power(t)
 			solarNow := avail >= budgetW && demand > 0 && demand <= avail
 			if solarNow {
@@ -406,6 +498,9 @@ func RunFixed(cfg Config, budgetW float64) (*DayResult, error) {
 				res.Series = append(res.Series, TracePoint{Minute: t, BudgetW: avail, ActualW: actual, OnSolar: solarNow})
 			}
 		}
+	}
+	if fx != nil {
+		res.Faults = fx.finish(end)
 	}
 	res.SolarWh = meter.EnergyWh(power.Solar)
 	res.UtilityWh = meter.EnergyWh(power.Utility)
@@ -442,19 +537,30 @@ func RunBattery(cfg Config, eff float64) (*DayResult, error) {
 		})
 	}
 	bat := power.NewBatterySystem(eff)
+	// The battery's dedicated charge controller still loses harvest to
+	// power-path faults (clouds, string cuts); core faults constrain the
+	// chip. Sensor, converter and solver faults have no battery analogue.
+	fx := newFaultCtx(&cfg, nil, 1)
+	harvestAt := cfg.Day.MPPAt
+	if fx != nil {
+		harvestAt = fx.mppAt
+	}
 
 	start, end := cfg.Day.StartMinute(), cfg.Day.EndMinute()
 	// The battery is optimally charged by its own tracker (Section 5): the
 	// whole day's MPP energy is banked up front.
 	for t := start; t < end-1e-9; t += cfg.StepMin {
 		dt := math.Min(cfg.StepMin, end-t)
-		bat.Harvest(cfg.Day.MPPAt(t), dt)
+		bat.Harvest(harvestAt(t), dt)
 	}
 	for t := start; t < end-1e-9; t += cfg.StepMin {
 		if err := cfg.canceled(); err != nil {
 			return nil, err
 		}
 		dt := math.Min(cfg.StepMin, end-t)
+		if fx != nil {
+			fx.applyAt(t, chip)
+		}
 		demand := chip.Power(t)
 		got := bat.Draw(demand, dt)
 		if o != nil {
@@ -469,6 +575,9 @@ func RunBattery(cfg Config, eff float64) (*DayResult, error) {
 		res.SolarWh += demand * got / 60
 		res.GInstrSolar += chip.Throughput(t) * got * 60
 		res.GInstrTotal += chip.Throughput(t) * got * 60
+	}
+	if fx != nil {
+		res.Faults = fx.finish(end)
 	}
 	if o != nil {
 		o.OnRunEnd(runEndEvent("Battery", res))

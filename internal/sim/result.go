@@ -54,8 +54,35 @@ type DayResult struct {
 	ThrottleEvents int
 	PeakTempC      float64
 
+	// Faults aggregates the fault-injection and degradation activity of
+	// the run; the zero value on every fault-free run.
+	Faults FaultReport
+
 	// Series is the sub-sampled budget/actual trace (Figures 13-14).
 	Series []TracePoint
+}
+
+// FaultReport counts one run's injected disturbances and the degradation
+// machinery's responses (DESIGN.md §11). It is a plain value so that a
+// fault-free DayResult stays comparable field-for-field with results
+// produced before the fault layer existed.
+type FaultReport struct {
+	// Injected counts fault window openings over the run.
+	Injected int
+	// BrownoutSheds counts brownout-guard load sheds.
+	BrownoutSheds int
+	// WatchdogTrips counts MPPT-supervision trips into fallback.
+	WatchdogTrips int
+	// FallbackPeriods counts tracking periods run on the de-rated
+	// Fixed-Power fallback budget.
+	FallbackPeriods int
+	// SolverFaults counts typed solver faults absorbed instead of
+	// aborting the run.
+	SolverFaults int
+	// RecoveryMin totals trip-to-recovery durations.
+	//
+	// unit: min
+	RecoveryMin float64
 }
 
 // Utilization returns the green-energy utilization: solar energy consumed

@@ -176,6 +176,16 @@ func WithObserver(o Observer) RunnerOption {
 	return func(r *Runner) { r.observers = append(r.observers, o) }
 }
 
+// WithFaults installs a deterministic fault-injection schedule on every
+// run (see ParseFaults and NewFaultSchedule). A nil or disarmed schedule
+// — every injector at zero intensity — is exactly a no-op: the run is
+// byte-identical to one without the option. Degradation activity is
+// reported in DayResult.Faults and, with WithObserver, as fault/watchdog
+// events.
+func WithFaults(s *FaultSchedule) RunnerOption {
+	return func(r *Runner) { r.cfg.Faults = s }
+}
+
 // WithContext attaches a cancellation context: the engine checks it at
 // least once per tracking period (and per simulated day in RunSeries)
 // and returns the wrapped context error instead of a partial result.

@@ -305,3 +305,57 @@ func TestRunnerObservability(t *testing.T) {
 		t.Errorf("merged runs_total = %v", merged.Counters["runs_total"])
 	}
 }
+
+func TestRunnerWithFaults(t *testing.T) {
+	day, mix := testDay(t)
+	cfg := solarcore.Config{Day: day, Mix: mix, StepMin: 2}
+
+	clean, err := solarcore.Run(cfg, solarcore.PolicyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A disarmed schedule is exactly a no-op through the Runner facade.
+	r, err := solarcore.NewRunner(cfg, solarcore.WithFaults(&solarcore.FaultSchedule{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, clean) {
+		t.Error("disarmed WithFaults diverges from a clean run")
+	}
+
+	// An armed schedule perturbs the run and reports its activity.
+	s, err := solarcore.ParseFaults("sensor-drop:t0=600,t1=720,i=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = solarcore.NewRunner(cfg, solarcore.WithFaults(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Faults.Injected == 0 || faulted.Faults.WatchdogTrips == 0 {
+		t.Errorf("armed schedule reported no activity: %+v", faulted.Faults)
+	}
+	if reflect.DeepEqual(faulted, clean) {
+		t.Error("armed schedule did not perturb the run")
+	}
+}
+
+func TestParseFaultsErrors(t *testing.T) {
+	if _, err := solarcore.ParseFaults("warp-core:t0=0,t1=1,i=1"); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else if !strings.Contains(err.Error(), "cloud") {
+		t.Errorf("error %q does not list the valid kinds", err)
+	}
+	if len(solarcore.FaultKinds()) == 0 {
+		t.Error("no built-in fault kinds listed")
+	}
+}

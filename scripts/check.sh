@@ -22,10 +22,13 @@ go vet ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race (root, exp, sim, dc, obs, lint)'
-go test -race . ./internal/exp ./internal/sim ./internal/dc ./internal/obs ./internal/lint
+echo '== go test -race (root, exp, sim, dc, obs, fault, lint)'
+go test -race . ./internal/exp ./internal/sim ./internal/dc ./internal/obs ./internal/fault ./internal/lint
 
-echo '== observer overhead bench (smoke)'
-go test -run '^$' -bench 'BenchmarkRunMPPT(NopObserver)?$' -benchtime=1x .
+echo '== fault sweep (smoke)'
+go test -run 'TestFaultSweepSensorDropout' ./internal/exp
+
+echo '== observer + disarmed-fault overhead bench (smoke)'
+go test -run '^$' -bench 'BenchmarkRunMPPT(NopObserver|DisarmedFaults)?$' -benchtime=1x .
 
 echo 'OK'

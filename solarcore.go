@@ -35,6 +35,7 @@ import (
 	"io"
 
 	"solarcore/internal/atmos"
+	"solarcore/internal/fault"
 	"solarcore/internal/mcore"
 	"solarcore/internal/mppt"
 	"solarcore/internal/power"
@@ -288,6 +289,45 @@ func GridProfileFor(siteCode string) GridProfile { return sustain.ProfileFor(sit
 
 // AssessImpact computes a day's carbon and cost ledger against a grid.
 func AssessImpact(res *DayResult, gp GridProfile) Impact { return sustain.Assess(res, gp) }
+
+// Fault injection and graceful degradation (package fault, DESIGN.md §11).
+type (
+	// FaultSchedule is a deterministic, seeded composition of fault
+	// injectors — the whole fault plan for one simulated day. Install it
+	// with WithFaults (or Config.Faults); the zero value is a no-op.
+	FaultSchedule = fault.Schedule
+	// FaultInjector is one scheduled disturbance; the built-in kinds are
+	// listed by FaultKinds and custom injectors participate by
+	// implementing the capability interfaces of package fault.
+	FaultInjector = fault.Injector
+	// FaultWindow is a half-open activity interval [T0, T1) in minutes.
+	FaultWindow = fault.Window
+	// WatchdogConfig tunes the MPPT-supervision degradation machinery
+	// (Config.Watchdog); the zero value takes the documented defaults.
+	WatchdogConfig = fault.WatchdogConfig
+	// FaultReport aggregates a run's injected disturbances and the
+	// degradation responses (DayResult.Faults).
+	FaultReport = sim.FaultReport
+)
+
+// ErrSolverFault marks an injected (or detected) operating-point solver
+// failure, absorbed by the degradation machinery instead of aborting the
+// run; test with errors.Is.
+var ErrSolverFault = fault.ErrSolverFault
+
+// ParseFaults parses a CLI-style fault-schedule spec: semicolon-separated
+// "kind:t0=M,t1=M,i=F[,seed=N]" clauses (the solarsim/solarfleet -faults
+// syntax). An unknown kind or malformed clause returns an error listing
+// the valid kinds.
+func ParseFaults(spec string) (*FaultSchedule, error) { return fault.ParseSpec(spec) }
+
+// FaultKinds lists the built-in injector spec keywords.
+func FaultKinds() []string { return fault.Kinds() }
+
+// NewFaultSchedule composes fault injectors under one seed.
+func NewFaultSchedule(seed int64, injectors ...FaultInjector) *FaultSchedule {
+	return fault.NewSchedule(seed, injectors...)
+}
 
 // SeriesResult aggregates a multi-day deployment.
 type SeriesResult = sim.SeriesResult
