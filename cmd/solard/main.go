@@ -1,0 +1,148 @@
+// Command solard serves the SolarCore simulation engine over HTTP: the
+// full Runner API as a queryable service with request coalescing, a
+// bounded LRU result cache and backpressure (internal/serve,
+// DESIGN.md §12).
+//
+// Usage:
+//
+//	solard [-addr 127.0.0.1:8090] [-inflight 0] [-queue 0] [-cache 1024] \
+//	       [-timeout 30s] [-grace 10s] [-access path|-]
+//
+// Endpoints:
+//
+//	POST /v1/run      one day: RunSpec JSON in, DayResult JSON out
+//	POST /v1/sweep    batch of specs over the bounded worker pool
+//	GET  /v1/policies Table 6 policy names
+//	GET  /metrics     serve_* metrics registry snapshot as JSON
+//	GET  /healthz     200 serving, 503 draining
+//
+// -addr with port 0 binds an ephemeral port; the bound address is
+// printed as "solard: listening on http://HOST:PORT" so scripts can
+// scrape it. -access streams one JSONL access-log line per request
+// (obs.AccessEvent; "-" for stdout). On SIGINT/SIGTERM the server
+// drains: /healthz starts failing, new simulations are refused, both
+// with Retry-After, in-flight requests finish (bounded by -grace), and
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"solarcore/internal/obs"
+	"solarcore/internal/serve"
+	"solarcore/internal/sigctx"
+)
+
+func main() {
+	ctx, stop := sigctx.WithShutdown(context.Background())
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// pf writes best-effort CLI output; a console write error is not
+// actionable mid-run, so it is discarded explicitly.
+func pf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// fail prints one prefixed error line and returns the exit code.
+func fail(stderr io.Writer, format string, args ...any) int {
+	pf(stderr, "solard: "+format+"\n", args...)
+	return 1
+}
+
+// run is the testable entry point: ctx cancellation is the shutdown
+// signal (main wires SIGINT/SIGTERM; tests cancel directly).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("solard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address (port 0 = ephemeral)")
+	inflight := fs.Int("inflight", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max requests waiting for a worker before 429 (0 = 4x inflight)")
+	cache := fs.Int("cache", 1024, "LRU result-cache entries")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-simulation deadline")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
+	access := fs.String("access", "", "JSONL access-log path (\"-\" = stdout, empty = off)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cache < 1 {
+		return fail(stderr, "-cache must be at least 1 entry")
+	}
+	if *timeout <= 0 || *grace <= 0 {
+		return fail(stderr, "-timeout and -grace must be positive durations")
+	}
+
+	var sink *obs.JSONLSink
+	switch *access {
+	case "":
+	case "-":
+		sink = obs.NewJSONLSink(stdout)
+	default:
+		f, err := os.Create(*access)
+		if err != nil {
+			return fail(stderr, "%v", err)
+		}
+		defer func() { _ = f.Close() }()
+		sink = obs.NewJSONLSink(f)
+	}
+
+	srv := serve.New(serve.Config{
+		MaxInflight:  *inflight,
+		MaxQueue:     *queue,
+		CacheEntries: *cache,
+		RunTimeout:   *timeout,
+		AccessLog:    sink,
+		Clock:        time.Now,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	pf(stdout, "solard: listening on http://%s\n", ln.Addr())
+
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+
+	select {
+	case err := <-served:
+		// Serve only returns on failure here (Shutdown is the other exit,
+		// taken below).
+		return fail(stderr, "%v", err)
+	case <-ctx.Done():
+	}
+
+	// Shutdown state machine (DESIGN.md §12): drain → stop listener →
+	// cancel stragglers → exit 0.
+	pf(stdout, "solard: signal received, draining (grace %s)\n", *grace)
+	srv.StartDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(sctx); err != nil {
+		pf(stderr, "solard: drain incomplete: %v\n", err)
+		code = 1
+	}
+	if err := srv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		pf(stderr, "solard: close: %v\n", err)
+		code = 1
+	}
+	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		pf(stderr, "solard: serve: %v\n", err)
+		code = 1
+	}
+	if code == 0 {
+		pf(stdout, "solard: drained, exiting\n")
+	}
+	return code
+}

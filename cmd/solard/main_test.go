@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is an io.Writer safe to read while run() writes from its
+// own goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestBadFlagsExitNonZero(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-cache", "0"},
+		{"-timeout", "0s"},
+		{"-grace", "-1s"},
+	}
+	for _, args := range cases {
+		var out, errw syncBuffer
+		if code := run(context.Background(), args, &out, &errw); code == 0 {
+			t.Errorf("run(%v) = 0, want non-zero", args)
+		}
+	}
+}
+
+func TestUnbindableAddrExitsNonZero(t *testing.T) {
+	var out, errw syncBuffer
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:1"}, &out, &errw); code == 0 {
+		t.Error("run with an unbindable address returned 0")
+	}
+}
+
+// TestServeAndGracefulShutdown boots solard on an ephemeral port, checks
+// it serves /healthz and a real /v1/run, then cancels the context and
+// checks the SIGTERM path: drain messages, exit code 0.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full server lifecycle with a real simulation")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errw syncBuffer
+	accessPath := filepath.Join(t.TempDir(), "access.jsonl")
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-grace", "5s", "-access", accessPath}, &out, &errw)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout: %q stderr: %q", out.String(), errw.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "solard: listening on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+
+	rresp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(`{"step_min":8}`))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	body, _ := io.ReadAll(rresp.Body)
+	_ = rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d: %s", rresp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "solar_wh") && len(body) == 0 {
+		t.Fatalf("run returned an empty result")
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %q", code, errw.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after cancellation")
+	}
+	got := out.String()
+	for _, want := range []string{"draining", "drained, exiting"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("shutdown transcript missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -17,9 +17,15 @@
 // worker pool — one fresh cluster per day — and prints per-day rows plus
 // totals; a day whose worker panics is reported by index and weather
 // label without taking down the fleet, and the command exits non-zero.
+//
+// SIGINT/SIGTERM cancel the worker pool cooperatively (the same
+// internal/sigctx plumbing as solard's graceful shutdown): days already
+// simulated are flushed as partial rows plus totals, unstarted days are
+// reported as canceled, and the command exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,12 +38,15 @@ import (
 	"solarcore/internal/fault"
 	"solarcore/internal/obs"
 	"solarcore/internal/pv"
+	"solarcore/internal/sigctx"
 	"solarcore/internal/sim"
 	"solarcore/internal/workload"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := sigctx.WithShutdown(context.Background())
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // pf and pln write best-effort CLI output; a console write error is not
@@ -80,9 +89,12 @@ type dayJob struct {
 	trace *atmos.Trace
 	res   dc.DayResult
 	err   error
+	// skipped marks a day the pool never started because the run was
+	// canceled first.
+	skipped bool
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("solarfleet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	nodes := fs.Int("nodes", 4, "server nodes in the cluster")
@@ -138,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *days > 1 {
-		return runDays(stdout, stderr, site, season, *days, *panels, *step, mkCluster, faultSched)
+		return runDays(ctx, stdout, stderr, site, season, *days, *panels, *step, mkCluster, faultSched)
 	}
 
 	tr := atmos.Generate(site, season, atmos.GenConfig{Day: *day})
@@ -200,13 +212,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runDays simulates n consecutive weather days on a bounded worker pool.
 // Each day gets a fresh cluster so per-day results are independent; a
 // panicking worker is contained and reported with the day index and
-// weather label instead of crashing the whole fleet.
-func runDays(stdout, stderr io.Writer, site atmos.Site, season atmos.Season,
+// weather label instead of crashing the whole fleet. A cancellation on
+// ctx (SIGINT/SIGTERM via main) stops feeding the pool: in-flight days
+// finish, completed days are flushed as partial rows plus totals, and
+// the command exits non-zero.
+func runDays(ctx context.Context, stdout, stderr io.Writer, site atmos.Site, season atmos.Season,
 	n, panels int, step float64, mkCluster func() (*dc.Cluster, error), s *fault.Schedule) int {
 
 	jobs := make([]dayJob, n)
 	for i, tr := range atmos.GenerateRun(site, season, n, atmos.GenConfig{}) {
 		jobs[i].trace = tr
+		jobs[i].skipped = true // cleared when a worker picks the day up
 	}
 
 	workers := runtime.NumCPU()
@@ -220,34 +236,50 @@ func runDays(stdout, stderr io.Writer, site atmos.Site, season atmos.Season,
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				jobs[i].skipped = false
 				jobs[i].err = simDay(&jobs[i], panels, step, mkCluster, s)
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	canceled := ctx.Err() != nil
 
 	pf(stdout, "fleet        : %d days at %s, %s, %d×180 W array\n", n, site.Name, season, panels)
 	pln(stdout, "day  weather                solar_wh  util%  ginstr  active_nodes")
 	var totalWh, totalG float64
-	failed := 0
+	failed, skipped, completed := 0, 0, 0
 	for i, j := range jobs {
-		if j.err != nil {
+		switch {
+		case j.skipped:
+			skipped++
+			pf(stdout, "%3d  %-22s  CANCELED\n", i, j.trace.Label())
+		case j.err != nil:
 			failed++
 			pf(stderr, "solarfleet: %v\n", j.err)
 			pf(stdout, "%3d  %-22s  FAILED\n", i, j.trace.Label())
-			continue
+		default:
+			completed++
+			pf(stdout, "%3d  %-22s  %8.0f  %5.1f  %6.0f  %12.2f\n",
+				i, j.trace.Label(), j.res.SolarWh, j.res.Utilization()*100, j.res.GInstrSolar, j.res.MeanActiveNodes)
+			totalWh += j.res.SolarWh
+			totalG += j.res.GInstrSolar
 		}
-		pf(stdout, "%3d  %-22s  %8.0f  %5.1f  %6.0f  %12.2f\n",
-			i, j.trace.Label(), j.res.SolarWh, j.res.Utilization()*100, j.res.GInstrSolar, j.res.MeanActiveNodes)
-		totalWh += j.res.SolarWh
-		totalG += j.res.GInstrSolar
 	}
-	pf(stdout, "total        : %.0f Wh solar, %.0f giga-instructions over %d days (%d failed)\n",
-		totalWh, totalG, n, failed)
+	pf(stdout, "total        : %.0f Wh solar, %.0f giga-instructions over %d of %d days (%d failed, %d canceled)\n",
+		totalWh, totalG, completed, n, failed, skipped)
+	if canceled {
+		pf(stderr, "solarfleet: interrupted: %d of %d days flushed before cancellation\n", completed, n)
+		return 1
+	}
 	if failed > 0 {
 		return 1
 	}

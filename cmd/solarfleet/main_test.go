@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,8 +9,35 @@ import (
 // runCLI invokes run with captured output.
 func runCLI(args ...string) (code int, stdout, stderr string) {
 	var out, errw strings.Builder
-	code = run(args, &out, &errw)
+	code = run(context.Background(), args, &out, &errw)
 	return code, out.String(), errw.String()
+}
+
+// TestCanceledDaysRunFlushesPartials drives the -days worker pool with an
+// already-canceled context: no day may start, every row must read
+// CANCELED, the totals line must still be flushed, and the exit code must
+// be non-zero — the SIGINT/SIGTERM contract of the fleet pool.
+func TestCanceledDaysRunFlushesPartials(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errw strings.Builder
+	code := run(ctx, []string{"-nodes", "2", "-panels", "2", "-step", "8", "-days", "4"}, &out, &errw)
+	if code == 0 {
+		t.Fatalf("exit code 0 for a canceled -days run; stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "interrupted") {
+		t.Errorf("stderr does not report the interruption: %q", errw.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "CANCELED") {
+		t.Errorf("canceled days not flagged in the per-day rows:\n%s", got)
+	}
+	if !strings.Contains(got, "total") {
+		t.Errorf("totals row missing from a canceled run:\n%s", got)
+	}
+	if strings.Contains(got, "FAILED") {
+		t.Errorf("cancellation misreported as day failure:\n%s", got)
+	}
 }
 
 func TestBadFaultSpecExitsNonZero(t *testing.T) {
@@ -62,7 +90,7 @@ func TestMultiDayRun(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code %d; stderr: %q", code, errs)
 	}
-	if !strings.Contains(out, "total") || !strings.Contains(out, "over 3 days (0 failed)") {
+	if !strings.Contains(out, "total") || !strings.Contains(out, "over 3 of 3 days (0 failed, 0 canceled)") {
 		t.Errorf("multi-day output missing totals:\n%s", out)
 	}
 	if n := strings.Count(out, "\n"); n < 5 {

@@ -1,0 +1,300 @@
+// Command solarload hammers a running solard and reports throughput,
+// latency percentiles and cache/coalesce effectiveness — the repo's
+// end-to-end serving benchmark.
+//
+// Usage:
+//
+//	solarload -url http://127.0.0.1:8090 [-n 2000] [-dur 0] [-c 16] \
+//	          [-site AZ] [-season Jul] [-mix HM2] [-policy MPPT&Opt] \
+//	          [-step 8] [-distinct 1] [-timeout 10s] [-check]
+//
+// -n sends a fixed request count; -dur sends for a fixed duration
+// (whichever stops first when both are set). -c is the concurrent
+// client count. -distinct rotates the day index across that many
+// distinct specs, so 1 measures the pure cached/coalesced fast path and
+// larger values force cache misses. -check probes /healthz and a single
+// /v1/run instead of generating load (the scripts/check.sh smoke).
+//
+// The exit code is non-zero when any response is dropped (transport
+// error) or non-200 — the "zero dropped responses" gate of the serving
+// benchmark.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"solarcore"
+	"solarcore/internal/obs"
+	"solarcore/internal/sigctx"
+)
+
+func main() {
+	ctx, stop := sigctx.WithShutdown(context.Background())
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// pf writes best-effort CLI output; a console write error is not
+// actionable mid-run, so it is discarded explicitly.
+func pf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// fail prints one prefixed error line and returns the exit code.
+func fail(stderr io.Writer, format string, args ...any) int {
+	pf(stderr, "solarload: "+format+"\n", args...)
+	return 1
+}
+
+// shot is one request's outcome.
+type shot struct {
+	ms      float64
+	status  int
+	cache   string
+	dropped bool
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of sorted ms samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("solarload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseURL := fs.String("url", "", "solard base URL, e.g. http://127.0.0.1:8090 (required)")
+	n := fs.Int("n", 2000, "total requests to send (0 = unlimited, use -dur)")
+	dur := fs.Duration("dur", 0, "send for this long (0 = until -n requests)")
+	conc := fs.Int("c", 16, "concurrent clients")
+	siteCode := fs.String("site", "AZ", "spec: site code")
+	seasonName := fs.String("season", "Jul", "spec: season")
+	mixName := fs.String("mix", "HM2", "spec: workload mix")
+	policy := fs.String("policy", solarcore.PolicyOpt, "spec: MPPT policy")
+	step := fs.Float64("step", 8, "spec: sub-sampling step in minutes")
+	distinct := fs.Int("distinct", 1, "rotate the day index over this many distinct specs")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+	check := fs.Bool("check", false, "probe /healthz and one /v1/run, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseURL == "" {
+		return fail(stderr, "-url is required")
+	}
+	url := strings.TrimRight(*baseURL, "/")
+	if *conc < 1 || *distinct < 1 {
+		return fail(stderr, "-c and -distinct must be at least 1")
+	}
+	if *n <= 0 && *dur <= 0 {
+		return fail(stderr, "give -n, -dur or both")
+	}
+	spec := solarcore.RunSpec{Site: *siteCode, Season: *seasonName, Mix: *mixName,
+		Policy: *policy, StepMin: *step}
+	if err := spec.Validate(); err != nil {
+		return fail(stderr, "%v", err)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *check {
+		return runCheck(ctx, client, url, spec, stdout, stderr)
+	}
+
+	// Pre-marshal the request bodies: one per distinct day index.
+	bodies := make([][]byte, *distinct)
+	for i := range bodies {
+		s := spec
+		s.Day = i
+		b, err := json.Marshal(s)
+		if err != nil {
+			return fail(stderr, "%v", err)
+		}
+		bodies[i] = b
+	}
+
+	var (
+		mu    sync.Mutex
+		shots []shot
+	)
+	lctx := ctx
+	if *dur > 0 {
+		var cancel context.CancelFunc
+		lctx, cancel = context.WithTimeout(ctx, *dur)
+		defer cancel()
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for range *conc {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sh := fire(lctx, client, url, bodies[i%len(bodies)])
+				mu.Lock()
+				shots = append(shots, sh)
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+feed:
+	for i := 0; *n <= 0 || i < *n; i++ {
+		select {
+		case next <- i:
+		case <-lctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	return report(client, url, shots, wall, stdout, stderr)
+}
+
+// fire sends one /v1/run request and measures it.
+func fire(ctx context.Context, client *http.Client, url string, body []byte) shot {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return shot{dropped: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return shot{dropped: true}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return shot{
+		ms:     time.Since(start).Seconds() * 1000,
+		status: resp.StatusCode,
+		cache:  resp.Header.Get("X-Cache"),
+	}
+}
+
+// report prints the latency/throughput summary plus the server's own
+// cache/coalesce counters, and decides the exit code.
+func report(client *http.Client, url string, shots []shot, wall time.Duration, stdout, stderr io.Writer) int {
+	var ok, dropped, non200 int
+	disp := map[string]int{}
+	var lat []float64
+	for _, sh := range shots {
+		switch {
+		case sh.dropped:
+			dropped++
+		case sh.status != http.StatusOK:
+			non200++
+		default:
+			ok++
+			lat = append(lat, sh.ms)
+			disp[sh.cache]++
+		}
+	}
+	sort.Float64s(lat)
+	secs := wall.Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(ok) / secs
+	}
+	pf(stdout, "requests     : %d total, %d ok, %d non-200, %d dropped\n",
+		len(shots), ok, non200, dropped)
+	pf(stdout, "wall         : %.2f s  (%.0f req/s sustained)\n", secs, rate)
+	pf(stdout, "latency ms   : p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+		percentile(lat, 0.50), percentile(lat, 0.95), percentile(lat, 0.99), percentile(lat, 1))
+	total := disp[obs.CacheHit] + disp[obs.CacheMiss] + disp[obs.CacheCoalesced]
+	if total > 0 {
+		pf(stdout, "dispositions : %d hit (%.1f%%), %d coalesced (%.1f%%), %d miss (%.1f%%)\n",
+			disp[obs.CacheHit], 100*float64(disp[obs.CacheHit])/float64(total),
+			disp[obs.CacheCoalesced], 100*float64(disp[obs.CacheCoalesced])/float64(total),
+			disp[obs.CacheMiss], 100*float64(disp[obs.CacheMiss])/float64(total))
+	}
+	printServerCounters(client, url, stdout)
+	if dropped > 0 || non200 > 0 {
+		return fail(stderr, "%d dropped, %d non-200 responses", dropped, non200)
+	}
+	return 0
+}
+
+// printServerCounters fetches /metrics and echoes the serve_* counters;
+// best-effort — a metrics failure does not fail the load run.
+func printServerCounters(client *http.Client, url string, stdout io.Writer) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return
+	}
+	pf(stdout, "server       : runs %.0f, cache hits %.0f, misses %.0f, coalesced %.0f, rejected %.0f, evictions %.0f\n",
+		snap.Counters["serve_runs_total"], snap.Counters["serve_cache_hits_total"],
+		snap.Counters["serve_cache_misses_total"], snap.Counters["serve_coalesced_total"],
+		snap.Counters["serve_rejected_total"], snap.Counters["serve_cache_evictions_total"])
+}
+
+// runCheck is the -check probe: /healthz must answer 200 and one
+// /v1/run must produce a DayResult.
+func runCheck(ctx context.Context, client *http.Client, url string, spec solarcore.RunSpec, stdout, stderr io.Writer) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fail(stderr, "healthz: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail(stderr, "healthz: status %d", resp.StatusCode)
+	}
+	pf(stdout, "healthz      : ok\n")
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	rreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	rreq.Header.Set("Content-Type", "application/json")
+	rresp, err := client.Do(rreq)
+	if err != nil {
+		return fail(stderr, "run: %v", err)
+	}
+	defer func() { _ = rresp.Body.Close() }()
+	if rresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(rresp.Body, 512))
+		return fail(stderr, "run: status %d: %s", rresp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var res solarcore.DayResult
+	if err := json.NewDecoder(rresp.Body).Decode(&res); err != nil {
+		return fail(stderr, "run: decode: %v", err)
+	}
+	pf(stdout, "run          : %s mix %s %s — %.0f Wh solar (%.1f%% utilization), cache %s\n",
+		res.Policy, res.Mix, res.Label, res.SolarWh, res.Utilization()*100,
+		rresp.Header.Get("X-Cache"))
+	return 0
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"solarcore/internal/serve"
+)
+
+func runCLI(args ...string) (int, string, string) {
+	var out, errw strings.Builder
+	code := run(context.Background(), args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestMissingURLExitsNonZero(t *testing.T) {
+	code, _, errs := runCLI()
+	if code == 0 {
+		t.Fatal("run without -url returned 0")
+	}
+	if !strings.Contains(errs, "-url") {
+		t.Errorf("stderr does not mention -url: %q", errs)
+	}
+}
+
+func TestBadFlagCombosExitNonZero(t *testing.T) {
+	for _, args := range [][]string{
+		{"-url", "http://x", "-c", "0"},
+		{"-url", "http://x", "-distinct", "0"},
+		{"-url", "http://x", "-n", "0"},
+		{"-url", "http://x", "-policy", "MPPT&Nope"},
+	} {
+		if code, _, _ := runCLI(args...); code == 0 {
+			t.Errorf("run(%v) = 0, want non-zero", args)
+		}
+	}
+}
+
+// TestCheckProbeAgainstServer points -check at an httptest-backed serve
+// stack: it must probe /healthz, run one real simulation and exit 0.
+func TestCheckProbeAgainstServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		_ = s.Close()
+	}()
+	code, out, errs := runCLI("-url", ts.URL, "-step", "8", "-check")
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %q", code, errs)
+	}
+	for _, want := range []string{"healthz", "ok", "Wh solar", "cache"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadRunReportsAndExitsZero fires a small load at a served stack
+// and checks the report shape: all requests accounted, zero drops, the
+// latency and disposition lines present, and cache hits dominating a
+// single-spec run.
+func TestLoadRunReportsAndExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation under load")
+	}
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		_ = s.Close()
+	}()
+	code, out, errs := runCLI("-url", ts.URL, "-step", "8", "-n", "64", "-c", "8")
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %q stdout:\n%s", code, errs, out)
+	}
+	for _, want := range []string{"64 total, 64 ok, 0 non-200, 0 dropped",
+		"latency ms", "dispositions", "req/s sustained", "server       :"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "hit") {
+		t.Errorf("single-spec load run shows no cache hits:\n%s", out)
+	}
+}

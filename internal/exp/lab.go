@@ -15,6 +15,7 @@ import (
 
 	"solarcore/internal/atmos"
 	"solarcore/internal/fault"
+	"solarcore/internal/lru"
 	"solarcore/internal/obs"
 	"solarcore/internal/power"
 	"solarcore/internal/pv"
@@ -38,6 +39,26 @@ type Options struct {
 	// Watchdog tunes the degradation state machine of faulted runs (the
 	// zero value takes the DESIGN.md §11 defaults).
 	Watchdog fault.WatchdogConfig
+	// CacheEntries caps the lab's LRU result cache (0 takes
+	// DefaultCacheEntries; negative values clamp to 1), so unboundedly
+	// long ablation sweeps cannot grow memory without limit. Evictions
+	// are counted in MetricLabEvictions.
+	CacheEntries int
+}
+
+// DefaultCacheEntries is the result-cache cap when Options.CacheEntries
+// is zero: larger than the full site × season × mix × policy × budget
+// grid, so the paper's experiments never evict.
+const DefaultCacheEntries = 4096
+
+func (o Options) cacheEntries() int {
+	switch {
+	case o.CacheEntries > 0:
+		return o.CacheEntries
+	case o.CacheEntries < 0:
+		return 1
+	}
+	return DefaultCacheEntries
 }
 
 func (o Options) stepMin() float64 {
@@ -78,29 +99,36 @@ const (
 	// MetricLabDays counts solar days materialized (weather synthesis +
 	// MPP profile precomputation).
 	MetricLabDays = "lab_days_built_total"
+	// MetricLabEvictions counts grid cells displaced from the bounded
+	// result cache by capacity pressure (Options.CacheEntries).
+	MetricLabEvictions = "lab_cache_evictions_total"
 )
 
 // Lab caches solar days and simulation runs so that the many experiments
 // sharing the site × season × mix × policy grid compute each run once. All
-// methods are safe for concurrent use. The lab keeps an obs.Registry of
-// cache hit/miss counters and per-cell wall-time histograms; Metrics
-// exports it.
+// methods are safe for concurrent use. The run cache is a bounded LRU
+// (Options.CacheEntries), so arbitrarily long sweeps stay within a fixed
+// memory budget at the price of recomputing evicted cells. The lab keeps
+// an obs.Registry of cache hit/miss/eviction counters and per-cell
+// wall-time histograms; Metrics exports it.
 type Lab struct {
 	Opts Options
 
 	mu   sync.Mutex
 	days map[string]*sim.SolarDay
-	runs map[string]*sim.DayResult
+	runs *lru.Cache[string, *sim.DayResult]
 	reg  *obs.Registry
 }
 
 // NewLab builds an empty lab.
 func NewLab(opts Options) *Lab {
+	reg := obs.NewRegistry()
 	return &Lab{
 		Opts: opts,
 		days: map[string]*sim.SolarDay{},
-		runs: map[string]*sim.DayResult{},
-		reg:  obs.NewRegistry(),
+		runs: lru.NewWithEvict[string, *sim.DayResult](opts.cacheEntries(),
+			func(string, *sim.DayResult) { reg.Add(MetricLabEvictions, 1) }),
+		reg: reg,
 	}
 }
 
@@ -131,16 +159,11 @@ func (l *Lab) Day(site atmos.Site, season atmos.Season) *sim.SolarDay {
 }
 
 func (l *Lab) cached(key string) (*sim.DayResult, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	r, ok := l.runs[key]
-	return r, ok
+	return l.runs.Get(key)
 }
 
 func (l *Lab) store(key string, r *sim.DayResult) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.runs[key] = r
+	l.runs.Put(key, r)
 }
 
 // cell serves one grid cell through the cache, recording the hit/miss

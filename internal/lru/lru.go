@@ -1,0 +1,153 @@
+// Package lru is a bounded, concurrency-safe least-recently-used cache.
+//
+// It exists because two hot paths must not grow without limit: the HTTP
+// result cache of internal/serve and the grid-cell cache of internal/exp's
+// Lab (an unbounded map before this package). The implementation is a
+// hand-rolled doubly-linked list over a map — stdlib-only, no interface
+// boxing — and every operation is O(1) under one mutex.
+package lru
+
+import "sync"
+
+// node is one cache entry threaded on the recency list.
+type node[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *node[K, V]
+}
+
+// Cache is a fixed-capacity LRU map. The zero value is not usable; build
+// one with New or NewWithEvict. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu        sync.Mutex
+	capacity  int
+	m         map[K]*node[K, V]
+	head      *node[K, V] // most recently used
+	tail      *node[K, V] // least recently used
+	evictions uint64
+	onEvict   func(K, V)
+}
+
+// New builds a cache holding at most capacity entries. It panics on a
+// non-positive capacity: the bound is the whole point of the type, and a
+// zero cap is always a programming error, never a runtime condition.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	return NewWithEvict[K, V](capacity, nil)
+}
+
+// NewWithEvict is New with an eviction hook: onEvict runs once per entry
+// displaced by capacity pressure (not for overwrites of an existing key),
+// synchronously, while the cache lock is held — keep it cheap and never
+// call back into the cache from it.
+func NewWithEvict[K comparable, V any](capacity int, onEvict func(K, V)) *Cache[K, V] {
+	if capacity < 1 {
+		panic("lru: capacity must be at least 1")
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		m:        make(map[K]*node[K, V], capacity),
+		onEvict:  onEvict,
+	}
+}
+
+// unlink removes n from the recency list.
+func (c *Cache[K, V]) unlink(n *node[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// pushFront makes n the most recently used entry.
+func (c *Cache[K, V]) pushFront(n *node[K, V]) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// Get returns the value stored under key and promotes it to most
+// recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	if c.head != n {
+		c.unlink(n)
+		c.pushFront(n)
+	}
+	return n.val, true
+}
+
+// Put stores val under key as the most recently used entry, evicting the
+// least recently used entry when the cache is over capacity. Overwriting
+// an existing key promotes it and never evicts.
+func (c *Cache[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.m[key]; ok {
+		n.val = val
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
+		return
+	}
+	n := &node[K, V]{key: key, val: val}
+	c.m[key] = n
+	c.pushFront(n)
+	if len(c.m) > c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		c.evictions++
+		if c.onEvict != nil {
+			c.onEvict(lru.key, lru.val)
+		}
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Cap returns the fixed capacity.
+func (c *Cache[K, V]) Cap() int { return c.capacity }
+
+// Evictions returns the number of entries displaced by capacity pressure
+// over the cache's lifetime.
+func (c *Cache[K, V]) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Keys returns the keys from most to least recently used — an O(n)
+// diagnostic for tests and eviction-order assertions.
+func (c *Cache[K, V]) Keys() []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]K, 0, len(c.m))
+	for n := c.head; n != nil; n = n.next {
+		keys = append(keys, n.key)
+	}
+	return keys
+}

@@ -1,0 +1,141 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEvictionOrderIsLeastRecentlyUsed(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // evicts a: oldest, never touched again
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived past capacity; want LRU eviction")
+	}
+	for k, want := range map[string]int{"b": 2, "c": 3} {
+		if v, ok := c.Get(k); !ok || v != want {
+			t.Errorf("Get(%q) = %d, %t; want %d, true", k, v, ok, want)
+		}
+	}
+	if got := c.Evictions(); got != 1 {
+		t.Errorf("Evictions() = %d, want 1", got)
+	}
+}
+
+func TestGetPromotesAgainstEviction(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // promote a: now b is LRU
+		t.Fatal("a missing before capacity reached")
+	}
+	c.Put("c", 3) // must evict b, not a
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; Get(a) should have promoted a over b")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite being most recently used")
+	}
+}
+
+func TestPutOverwritePromotesWithoutEvicting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // overwrite: promote, no eviction
+	if got := c.Evictions(); got != 0 {
+		t.Fatalf("overwrite evicted: Evictions() = %d, want 0", got)
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("overwritten value = %d, want 10", v)
+	}
+	c.Put("c", 3) // b is LRU now
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; overwrite of a should have demoted b to LRU")
+	}
+}
+
+func TestKeysReportsRecencyOrder(t *testing.T) {
+	c := New[string, int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	got := c.Keys()
+	want := []string{"a", "c", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOnEvictFiresOncePerDisplacedEntry(t *testing.T) {
+	var evicted []string
+	c := NewWithEvict[string, int](1, func(k string, _ int) { evicted = append(evicted, k) })
+	c.Put("a", 1)
+	c.Put("a", 2) // overwrite: no hook
+	c.Put("b", 3) // displaces a
+	c.Put("c", 4) // displaces b
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Errorf("evicted = %v, want [a b]", evicted)
+	}
+}
+
+func TestLenAndCap(t *testing.T) {
+	c := New[int, int](3)
+	if c.Cap() != 3 || c.Len() != 0 {
+		t.Fatalf("fresh cache: Len=%d Cap=%d, want 0/3", c.Len(), c.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len() = %d after overflow, want 3 (bounded)", c.Len())
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New[int, int](0)
+}
+
+// TestConcurrentAccess hammers one small cache from many goroutines; run
+// under -race it is the package's concurrency-safety gate, and the final
+// invariant checks the map and list never diverge.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[string, int](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (seed*31+i)%32)
+				if i%3 == 0 {
+					c.Put(k, i)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > c.Cap() {
+		t.Errorf("Len() = %d exceeds Cap() = %d", c.Len(), c.Cap())
+	}
+	if got := len(c.Keys()); got != c.Len() {
+		t.Errorf("recency list has %d entries, map has %d", got, c.Len())
+	}
+}

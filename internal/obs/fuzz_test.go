@@ -1,0 +1,65 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"solarcore/internal/obs"
+)
+
+// FuzzReadEvents fuzzes the JSONL decoder with arbitrary byte streams:
+// whatever arrives — truncated lines, duplicate payloads, wrong versions,
+// binary garbage — ReadEvents must either fail cleanly or return events
+// that all satisfy the envelope invariants. It must never panic.
+func FuzzReadEvents(f *testing.F) {
+	// A valid line of each payload family, plus the classic breakages.
+	f.Add(`{"v":1,"type":"run_start","run_start":{}}`)
+	f.Add(`{"v":1,"type":"access","access":{"method":"GET","path":"/healthz","status":200,"dur_ms":0.1,"bytes":16}}`)
+	f.Add(`{"v":1,"type":"run_end","run_end":{}}` + "\n" + `{"v":1,"type":"fault","fault":{}}`)
+	f.Add(`{"v":2,"type":"tick","tick":{}}`)               // wrong schema version
+	f.Add(`{"v":1,"type":"tick"}`)                         // no payload
+	f.Add(`{"v":1,"type":"tick","tick":{},"alloc":{}}`)    // two payloads
+	f.Add(`{"v":1,"type":"alloc","tick":{}}`)              // mismatched payload
+	f.Add(`{"v":1,"type":"access","access":{"status":`)    // truncated mid-value
+	f.Add(`{"v":1,"type":"watchdog","watchdog":{}}{"v":1`) // trailing fragment
+	f.Add("\x00\x01\x02 not json at all")
+	f.Add(`[]`)
+	f.Add(`{"v":1,"type":"track","track":{"levels":[0.5,1.5]}}`)
+	f.Fuzz(func(t *testing.T, line string) {
+		events, err := obs.ReadEvents(strings.NewReader(line))
+		if err != nil {
+			return // a clean rejection is a valid outcome
+		}
+		for i, ev := range events {
+			if verr := ev.Validate(); verr != nil {
+				t.Fatalf("ReadEvents accepted event %d that fails Validate: %v\ninput: %q", i, verr, line)
+			}
+		}
+	})
+}
+
+// TestAccessEventRoundTrip checks an access-log line written by OnAccess
+// survives ReadEvents bit-for-bit.
+func TestAccessEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	want := obs.AccessEvent{
+		Method: "POST", Path: "/v1/run", Status: 200,
+		DurMs: 12.5, Bytes: 4096, Cache: obs.CacheCoalesced, Remote: "127.0.0.1:9",
+	}
+	sink.OnAccess(want)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(events) != 1 || events[0].Type != obs.TypeAccess || events[0].Access == nil {
+		t.Fatalf("decoded %d events, want one %s", len(events), obs.TypeAccess)
+	}
+	if got := *events[0].Access; got != want {
+		t.Errorf("round trip changed the event:\ngot  %+v\nwant %+v", got, want)
+	}
+}

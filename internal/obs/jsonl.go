@@ -42,6 +42,7 @@ type Event struct {
 	RunEnd   *RunEndEvent   `json:"run_end,omitempty"`
 	Fault    *FaultEvent    `json:"fault,omitempty"`
 	Watchdog *WatchdogEvent `json:"watchdog,omitempty"`
+	Access   *AccessEvent   `json:"access,omitempty"`
 }
 
 // Validate checks the envelope invariants: a known schema version and
@@ -71,6 +72,9 @@ func (e Event) Validate() error {
 	}
 	if e.Watchdog != nil {
 		set = append(set, TypeWatchdog)
+	}
+	if e.Access != nil {
+		set = append(set, TypeAccess)
 	}
 	if len(set) != 1 {
 		return fmt.Errorf("obs: event %q carries %d payloads (want exactly 1)", e.Type, len(set))

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// flight is one in-progress computation shared by every request that
+// asked for the same key while it ran.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// flightGroup is a minimal singleflight: Do runs fn once per key at a
+// time, and callers that arrive while an identical call is in flight
+// wait for its result instead of starting their own. It is the
+// coalescing layer under Server.Result (stdlib-only; the x/sync
+// singleflight package is off-limits by the no-dependency rule).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func (g *flightGroup) init() { g.m = map[string]*flight{} }
+
+// Do returns fn's result for key, sharing one execution among concurrent
+// callers. shared reports whether this caller joined another caller's
+// execution. A joining caller stops waiting when its ctx dies — the
+// execution itself continues for the others and for the cache. The
+// leader removes the key before publishing the result, so callers
+// arriving after completion start fresh (and normally hit the result
+// cache instead).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, fmt.Errorf("serve: coalesced wait: %w", ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	// Publish even when fn panics: the panic propagates to the leader's
+	// middleware (which contains it), while waiters get an error instead
+	// of blocking forever on a flight that will never complete.
+	completed := false
+	defer func() {
+		if !completed {
+			f.val, f.err = nil, errors.New("serve: run panicked")
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = fn()
+	completed = true
+	return f.val, false, f.err
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"solarcore"
+)
+
+// RunRequest is the /v1/run request body: one solarcore.RunSpec (the
+// simulation identity) plus transport-level fields that do not affect
+// the cache key.
+type RunRequest struct {
+	solarcore.RunSpec
+	// TimeoutMs shortens the server's per-run deadline for this request
+	// (clamped to Config.MaxTimeout). Coalesced followers inherit the
+	// leader's deadline.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest is the /v1/sweep request body: a batch of run requests
+// fanned over the server's bounded worker pool.
+type SweepRequest struct {
+	Runs []RunRequest `json:"runs"`
+}
+
+// SweepItem is one /v1/sweep result, in request order. Exactly one of
+// Result and Error is set.
+type SweepItem struct {
+	// Hash is the spec's cache identity (solarcore.RunSpec.Hash).
+	Hash string `json:"hash"`
+	// Cache is the disposition: obs.CacheHit, CacheMiss or CacheCoalesced.
+	Cache string `json:"cache,omitempty"`
+	// Result is the marshaled DayResult.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the per-item failure, when the run could not complete.
+	Error string `json:"error,omitempty"`
+}
+
+// SweepResponse is the /v1/sweep response body.
+type SweepResponse struct {
+	Results []SweepItem `json:"results"`
+}
+
+// PoliciesResponse is the /v1/policies response body.
+type PoliciesResponse struct {
+	Policies []string `json:"policies"`
+}
+
+// maxBodyBytes bounds request bodies; a RunSpec is a few hundred bytes,
+// a full sweep a few kilobytes.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON decodes one strict JSON value from the request body:
+// unknown fields and trailing data are errors, so typos in spec fields
+// fail loudly with 400 instead of silently simulating the default.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data")
+	}
+	return nil
+}
+
+// writeRunError maps a Result failure to its HTTP status: backpressure
+// and drain shed load retryably (429/503 + Retry-After), a blown run
+// deadline is 504, and anything else is a plain 500.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, solarcore.ErrUnknownPolicy):
+		s.writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusGatewayTimeout, "run deadline exceeded: "+err.Error())
+	case errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// handleRun serves POST /v1/run: one spec in, one DayResult out, through
+// cache, coalescer and the bounded pool.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		s.writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	var req RunRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body, src, err := s.Result(r.Context(), req.RunSpec, req.TimeoutMs)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	w.Header().Set(headerCache, src)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// handleSweep serves POST /v1/sweep: the whole batch is validated up
+// front (any invalid spec fails the request with 400 before any
+// simulation starts), then fanned over the worker pool; per-item
+// failures (deadline, shed load) are reported in-place so one bad cell
+// never loses the batch.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		s.writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Runs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty sweep: give at least one run")
+		return
+	}
+	if len(req.Runs) > s.cfg.MaxSweep {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("sweep of %d runs exceeds the limit of %d", len(req.Runs), s.cfg.MaxSweep))
+		return
+	}
+	for i, item := range req.Runs {
+		if err := item.Validate(); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("runs[%d]: %v", i, err))
+			return
+		}
+	}
+
+	items := make([]SweepItem, len(req.Runs))
+	workers := s.cfg.MaxInflight
+	if workers > len(req.Runs) {
+		workers = len(req.Runs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				spec := req.Runs[i]
+				items[i].Hash = spec.Hash()
+				body, src, err := s.Result(r.Context(), spec.RunSpec, spec.TimeoutMs)
+				if err != nil {
+					items[i].Error = err.Error()
+					continue
+				}
+				items[i].Cache = src
+				items[i].Result = body
+			}
+		}()
+	}
+	for i := range req.Runs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	s.writeJSON(w, http.StatusOK, SweepResponse{Results: items})
+}
+
+// handlePolicies serves GET /v1/policies: the Table 6 policy names.
+func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, PoliciesResponse{Policies: solarcore.Policies()})
+}
+
+// handleMetrics serves GET /metrics: the obs.Registry snapshot as
+// indented JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	// A late encode failure cannot reach the client; dropped deliberately.
+	_ = s.reg.Snapshot().WriteJSON(w)
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once
+// draining so load balancers stop routing new work here.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"solarcore/internal/obs"
+)
+
+// statusRecorder captures the status code and body size a handler wrote,
+// for metrics and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// headerCache is the response header simulation handlers set to report
+// the cache disposition; the middleware copies it into the access log.
+const headerCache = "X-Cache"
+
+// instrument wraps a handler with the serving middleware stack: request
+// counting, panic containment (a panicking handler answers 500 and the
+// server lives on), and one structured access-log line per request.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := s.cfg.Clock()
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.Add(MetricPanics, 1)
+				if rec.status == 0 {
+					s.writeError(rec, http.StatusInternalServerError, "internal error")
+				}
+			}
+			s.reg.Add(MetricRequests, 1)
+			if s.cfg.AccessLog != nil {
+				s.cfg.AccessLog.OnAccess(accessEvent(rec, r, s.cfg.Clock().Sub(start).Seconds()*1000))
+			}
+		}()
+		h(rec, r)
+	})
+}
+
+// accessEvent assembles the access-log record for one completed request.
+func accessEvent(rec *statusRecorder, r *http.Request, durMs float64) obs.AccessEvent {
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return obs.AccessEvent{
+		Method: r.Method,
+		Path:   r.URL.Path,
+		Status: status,
+		DurMs:  durMs,
+		Bytes:  rec.bytes,
+		Cache:  rec.Header().Get(headerCache),
+		Remote: r.RemoteAddr,
+	}
+}
+
+// writeJSON writes v as the response body with the given status. A
+// late encode failure cannot be reported to the client anymore (the
+// header is out), so it is dropped deliberately.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error payload: {"error": "..."}.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError answers with the uniform error payload.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, errorBody{Error: msg})
+}

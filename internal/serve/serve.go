@@ -1,0 +1,300 @@
+// Package serve is solard's HTTP serving core: the full Runner API of
+// the root package exposed as a stdlib-only (net/http) service with the
+// three properties a simulation endpoint needs under heavy traffic
+// (DESIGN.md §12):
+//
+//   - request coalescing — concurrent identical requests (same
+//     solarcore.RunSpec.Hash) share one simulation via a singleflight
+//     group, so a thundering herd costs one run;
+//   - result caching — completed runs park their marshaled DayResult in
+//     a bounded LRU (internal/lru), so repeats are O(1) replays that are
+//     byte-identical to the first response;
+//   - backpressure — simulations run on a bounded worker pool with a
+//     bounded wait queue; beyond that the server sheds load immediately
+//     with 429 + Retry-After instead of queueing unboundedly.
+//
+// Every simulation runs under a context deadline propagated into the
+// engine's cooperative cancellation path, handlers are panic-contained,
+// and each completed request can append one obs.AccessEvent JSONL line.
+// The package reads no wall clock of its own: Config.Clock injects one
+// (cmd/solard passes time.Now), keeping the package deterministic under
+// test and honest about the repository's virtual-time rule.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"solarcore"
+	"solarcore/internal/lru"
+	"solarcore/internal/obs"
+)
+
+// Server metric names, kept in the obs.Registry exported by /metrics
+// (DESIGN.md §12).
+const (
+	// MetricRequests counts completed HTTP requests across all routes.
+	MetricRequests = "serve_requests_total"
+	// MetricRuns counts simulations actually executed (cache misses that
+	// won the coalescing race).
+	MetricRuns = "serve_runs_total"
+	// MetricCacheHits / MetricCacheMisses count result-cache lookups.
+	MetricCacheHits   = "serve_cache_hits_total"
+	MetricCacheMisses = "serve_cache_misses_total"
+	// MetricCoalesced counts requests served by joining an identical
+	// in-flight simulation instead of starting their own.
+	MetricCoalesced = "serve_coalesced_total"
+	// MetricEvictions counts result-cache entries displaced by capacity.
+	MetricEvictions = "serve_cache_evictions_total"
+	// MetricRejected counts requests shed by backpressure (HTTP 429).
+	MetricRejected = "serve_rejected_total"
+	// MetricPanics counts handler panics contained by the middleware.
+	MetricPanics = "serve_panics_total"
+	// MetricRunMs is a histogram of simulation wall time in milliseconds
+	// (zero without a Config.Clock).
+	MetricRunMs = "serve_run_ms"
+	// MetricInflight gauges simulations currently executing.
+	MetricInflight = "serve_inflight"
+)
+
+// Load-shedding sentinels; the handler layer maps them to HTTP statuses
+// (429 and 503) and callers of Result can test with errors.Is.
+var (
+	// ErrOverloaded means the worker pool and its wait queue are full.
+	ErrOverloaded = errors.New("serve: over capacity")
+	// ErrDraining means the server is shutting down and accepts no new
+	// simulations.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Config tunes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// MaxInflight bounds concurrently executing simulations
+	// (default runtime.GOMAXPROCS(0)).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for a worker slot before the
+	// server sheds load with 429 (default 4×MaxInflight).
+	MaxQueue int
+	// CacheEntries caps the LRU result cache (default 1024).
+	CacheEntries int
+	// RunTimeout is the per-simulation deadline (default 30s). A
+	// request's timeout_ms field may shorten it, never extend past
+	// MaxTimeout.
+	RunTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (default 2×RunTimeout).
+	MaxTimeout time.Duration
+	// MaxSweep caps the runs accepted in one /v1/sweep batch (default 64).
+	MaxSweep int
+	// Registry receives the serve_* metrics; nil builds a private one.
+	Registry *obs.Registry
+	// AccessLog, when non-nil, receives one obs.AccessEvent JSON line per
+	// completed request.
+	AccessLog *obs.JSONLSink
+	// Clock supplies wall time for latency metrics and access-log
+	// durations. nil is valid — durations then report zero — because
+	// internal packages must not read the wall clock themselves
+	// (solarvet's seededrand rule); cmd/solard injects time.Now.
+	Clock func() time.Time
+}
+
+// withDefaults returns cfg with every zero field materialized.
+func (c Config) withDefaults() Config {
+	if c.MaxInflight < 1 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 1 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 1024
+	}
+	if c.RunTimeout <= 0 {
+		c.RunTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * c.RunTimeout
+	}
+	if c.MaxSweep < 1 {
+		c.MaxSweep = 64
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Clock == nil {
+		c.Clock = func() time.Time { return time.Time{} }
+	}
+	return c
+}
+
+// Server is the serving core. Build one with New, mount Handler on an
+// http.Server, and on shutdown call StartDrain (fail health checks,
+// refuse new simulations), drain the listener, then Close.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *lru.Cache[string, []byte]
+	group flightGroup
+
+	sem      chan struct{} // worker-slot semaphore, capacity MaxInflight
+	queued   atomic.Int64  // requests blocked waiting for a slot
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	// baseCtx parents every simulation so runs outlive the request that
+	// coalesced onto them and die together at Close.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	// runSpec executes one validated spec; tests substitute a fake to
+	// exercise coalescing and backpressure without simulating.
+	runSpec func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error)
+
+	mux *http.ServeMux
+}
+
+// New builds a Server over cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		reg: cfg.Registry,
+		sem: make(chan struct{}, cfg.MaxInflight),
+	}
+	s.cache = lru.NewWithEvict[string, []byte](cfg.CacheEntries, func(string, []byte) {
+		s.reg.Add(MetricEvictions, 1)
+	})
+	s.group.init()
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+		return spec.Run(ctx)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.Handle("GET /v1/policies", s.instrument("/v1/policies", s.handlePolicies))
+	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	return s
+}
+
+// Handler returns the route table, panic-contained and instrumented.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics snapshots the server's registry.
+func (s *Server) Metrics() obs.Snapshot { return s.reg.Snapshot() }
+
+// StartDrain moves the server into its draining state: /healthz starts
+// failing with 503 (so load balancers stop routing here) and new
+// simulations are refused; in-flight ones keep running. It is the first
+// step of the shutdown state machine (DESIGN.md §12).
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close cancels every in-flight simulation and flushes the access log.
+// Call it after the HTTP listener has drained.
+func (s *Server) Close() error {
+	s.cancel()
+	if s.cfg.AccessLog != nil {
+		return s.cfg.AccessLog.Flush()
+	}
+	return nil
+}
+
+// acquire claims a worker slot, waiting in the bounded queue when the
+// pool is busy. It fails fast with ErrOverloaded once MaxQueue requests
+// are already waiting, and with the context error when the waiter's
+// request dies first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.reg.Add(MetricRejected, 1)
+		return ErrOverloaded
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: queue wait: %w", ctx.Err())
+	case <-s.baseCtx.Done():
+		return ErrDraining
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// timeout resolves the effective run deadline: the server default,
+// shortened (never extended beyond MaxTimeout) by a client-requested
+// timeout in milliseconds.
+func (s *Server) timeout(requestedMs int) time.Duration {
+	d := s.cfg.RunTimeout
+	if requestedMs > 0 {
+		d = time.Duration(requestedMs) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// Result serves one validated spec through the cache, the coalescer and
+// the bounded worker pool, returning the marshaled DayResult JSON and
+// its cache disposition (obs.CacheHit, obs.CacheCoalesced, obs.CacheMiss).
+// ctx is the caller's request context: it bounds queue waiting and
+// coalesced waiting, while the simulation itself runs under the server's
+// base context plus the effective deadline — so one impatient client
+// cannot cancel a run other clients (or the cache) still want.
+func (s *Server) Result(ctx context.Context, spec solarcore.RunSpec, timeoutMs int) ([]byte, string, error) {
+	key := spec.Hash()
+	if body, ok := s.cache.Get(key); ok {
+		s.reg.Add(MetricCacheHits, 1)
+		return body, obs.CacheHit, nil
+	}
+	s.reg.Add(MetricCacheMisses, 1)
+	body, shared, err := s.group.Do(ctx, key, func() ([]byte, error) {
+		if s.draining.Load() {
+			return nil, ErrDraining
+		}
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		runCtx, cancel := context.WithTimeout(s.baseCtx, s.timeout(timeoutMs))
+		defer cancel()
+		s.reg.Set(MetricInflight, float64(s.inflight.Add(1)))
+		defer func() { s.reg.Set(MetricInflight, float64(s.inflight.Add(-1))) }()
+		start := s.cfg.Clock()
+		res, err := s.runSpec(runCtx, spec)
+		if err != nil {
+			return nil, err
+		}
+		s.reg.Observe(MetricRunMs, s.cfg.Clock().Sub(start).Seconds()*1000)
+		s.reg.Add(MetricRuns, 1)
+		out, err := json.Marshal(res)
+		if err != nil {
+			return nil, fmt.Errorf("serve: marshal result: %w", err)
+		}
+		s.cache.Put(key, out)
+		return out, nil
+	})
+	src := obs.CacheMiss
+	if shared {
+		s.reg.Add(MetricCoalesced, 1)
+		src = obs.CacheCoalesced
+	}
+	return body, src, err
+}

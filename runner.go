@@ -2,13 +2,22 @@ package solarcore
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
+	"strings"
 
+	"solarcore/internal/atmos"
+	"solarcore/internal/fault"
 	"solarcore/internal/obs"
+	"solarcore/internal/pv"
 	"solarcore/internal/sched"
 	"solarcore/internal/sim"
+	"solarcore/internal/workload"
 )
 
 // ErrUnknownPolicy reports a policy name outside the Table 6 set. Every
@@ -258,6 +267,216 @@ func (r *Runner) RunBank() (*BankDayResult, error) {
 		return nil, fmt.Errorf("solarcore: RunBank needs a WithBank runner (mode is %v)", r.mode)
 	}
 	return sim.RunBatteryBank(r.runConfig(), r.bank, r.bankEff)
+}
+
+// RunSpec is a fully serializable description of one simulated day: the
+// wire format of the solard HTTP API (internal/serve, DESIGN.md §12) and
+// of any other consumer that must name a run without holding live model
+// objects. The zero value of every field means "the paper's default";
+// Normalized materializes those defaults, and two specs describe the same
+// simulation exactly when their Canonical strings are equal — Hash is the
+// cache/coalescing identity the server uses.
+type RunSpec struct {
+	// Site is a Table 2 site code: "AZ", "CO", "NC" or "TN" (default AZ).
+	Site string `json:"site,omitempty"`
+	// Season is "Jan", "Apr", "Jul" or "Oct" (default Jul).
+	Season string `json:"season,omitempty"`
+	// Mix is a Table 5 workload mix name (default HM2).
+	Mix string `json:"mix,omitempty"`
+	// Policy is a Table 6 policy name; it selects an MPPT tracking run
+	// and defaults to PolicyOpt. Mutually exclusive with FixedW and
+	// BatteryEff.
+	Policy string `json:"policy,omitempty"`
+	// Day is the generated weather day index (default 0).
+	Day int `json:"day,omitempty"`
+	// StepMin is the sub-sampling step in minutes (default 1).
+	StepMin float64 `json:"step_min,omitempty"`
+	// Panels is the parallel 180 W panel count of the array (default 1).
+	Panels int `json:"panels,omitempty"`
+	// FixedW, when positive, selects the non-tracking Fixed-Power
+	// baseline at this budget in watts instead of an MPPT policy.
+	FixedW float64 `json:"fixed_w,omitempty"`
+	// BatteryEff, when positive, selects the idealized battery baseline
+	// at this overall conversion efficiency in (0, 1].
+	BatteryEff float64 `json:"battery_eff,omitempty"`
+	// Faults is a CLI-style fault-schedule spec (see ParseFaults); empty
+	// means a fault-free run.
+	Faults string `json:"faults,omitempty"`
+}
+
+// Normalized returns the spec with every defaulted field materialized:
+// the result simulates identically to the receiver, and equal Normalized
+// specs have equal Canonical strings.
+func (s RunSpec) Normalized() RunSpec {
+	if s.Site == "" {
+		s.Site = "AZ"
+	}
+	if s.Season == "" {
+		s.Season = "Jul"
+	}
+	if s.Mix == "" {
+		s.Mix = "HM2"
+	}
+	if s.Policy == "" && s.FixedW <= 0 && s.BatteryEff <= 0 {
+		s.Policy = PolicyOpt
+	}
+	if s.StepMin <= 0 {
+		s.StepMin = 1
+	}
+	if s.Panels == 0 {
+		s.Panels = 1
+	}
+	return s
+}
+
+// specFinite rejects NaN and ±Inf field values before they reach the
+// canonical encoding or the engine.
+func specFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("solarcore: spec %s is not finite", name)
+	}
+	return nil
+}
+
+// Validate resolves every name-bearing field and checks value ranges,
+// without running anything. An unknown Policy wraps ErrUnknownPolicy. A
+// valid spec is guaranteed to build a Runner; engine-level failures can
+// still surface at Run time (e.g. a degenerate weather day).
+func (s RunSpec) Validate() error {
+	n := s.Normalized()
+	if _, err := atmos.SiteByCode(n.Site); err != nil {
+		return fmt.Errorf("solarcore: spec site: %w", err)
+	}
+	if _, err := atmos.SeasonByName(n.Season); err != nil {
+		return fmt.Errorf("solarcore: spec season: %w", err)
+	}
+	if _, err := workload.MixByName(n.Mix); err != nil {
+		return fmt.Errorf("solarcore: spec mix: %w", err)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"step_min", n.StepMin}, {"fixed_w", n.FixedW}, {"battery_eff", n.BatteryEff}} {
+		if err := specFinite(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if n.Day < 0 {
+		return fmt.Errorf("solarcore: spec day %d is negative", n.Day)
+	}
+	if n.Panels < 1 {
+		return fmt.Errorf("solarcore: spec panels %d (want >= 1)", n.Panels)
+	}
+	if n.FixedW < 0 {
+		return fmt.Errorf("solarcore: spec fixed_w %g is negative", n.FixedW)
+	}
+	if n.BatteryEff < 0 || n.BatteryEff > 1 {
+		return fmt.Errorf("solarcore: spec battery_eff %g outside (0, 1]", n.BatteryEff)
+	}
+	baselines := 0
+	if n.FixedW > 0 {
+		baselines++
+	}
+	if n.BatteryEff > 0 {
+		baselines++
+	}
+	if baselines > 1 {
+		return fmt.Errorf("solarcore: spec selects both fixed_w and battery_eff (give at most one)")
+	}
+	if baselines > 0 && s.Policy != "" {
+		return fmt.Errorf("solarcore: spec selects policy %q and a baseline (give at most one)", s.Policy)
+	}
+	if baselines == 0 {
+		if _, err := allocByName(n.Policy); err != nil {
+			return err
+		}
+	}
+	if _, err := fault.ParseSpec(n.Faults); err != nil {
+		return fmt.Errorf("solarcore: spec faults: %w", err)
+	}
+	return nil
+}
+
+// Canonical renders the normalized spec as a stable, human-readable
+// identity string: two specs simulate identically exactly when their
+// Canonical strings are equal. Floats use the shortest round-trippable
+// form, so the encoding is bijective for finite values.
+func (s RunSpec) Canonical() string {
+	n := s.Normalized()
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	parts := []string{
+		"site=" + n.Site,
+		"season=" + n.Season,
+		"mix=" + n.Mix,
+		"policy=" + n.Policy,
+		"day=" + strconv.Itoa(n.Day),
+		"step=" + g(n.StepMin),
+		"panels=" + strconv.Itoa(n.Panels),
+		"fixed=" + g(n.FixedW),
+		"battery=" + g(n.BatteryEff),
+		"faults=" + n.Faults,
+	}
+	return strings.Join(parts, "|")
+}
+
+// Hash returns the hex SHA-256 of Canonical — the request identity
+// solard's result cache and request coalescer key on.
+func (s RunSpec) Hash() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Runner materializes the spec: it generates the weather day, binds the
+// PV array, resolves the mix and builds a Runner in the spec's mode, with
+// opts (observers, a context) applied on top. Validate runs first, so an
+// invalid spec fails here with the same error.
+func (s RunSpec) Runner(opts ...RunnerOption) (*Runner, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Normalized()
+	site, err := atmos.SiteByCode(n.Site)
+	if err != nil {
+		return nil, err
+	}
+	season, err := atmos.SeasonByName(n.Season)
+	if err != nil {
+		return nil, err
+	}
+	mix, err := workload.MixByName(n.Mix)
+	if err != nil {
+		return nil, err
+	}
+	faults, err := fault.ParseSpec(n.Faults)
+	if err != nil {
+		return nil, err
+	}
+	trace := atmos.Generate(site, season, atmos.GenConfig{Day: n.Day})
+	day, err := sim.NewSolarDay(trace, pv.BP3180N(), 1, n.Panels)
+	if err != nil {
+		return nil, fmt.Errorf("solarcore: spec day build: %w", err)
+	}
+	cfg := Config{Day: day, Mix: mix, StepMin: n.StepMin}
+	all := []RunnerOption{WithFaults(faults)}
+	switch {
+	case n.FixedW > 0:
+		all = append(all, WithFixedBudget(n.FixedW))
+	case n.BatteryEff > 0:
+		all = append(all, WithBattery(n.BatteryEff))
+	default:
+		all = append(all, WithPolicy(n.Policy))
+	}
+	all = append(all, opts...)
+	return NewRunner(cfg, all...)
+}
+
+// Run materializes and runs the spec under ctx in one call; see Runner.
+func (s RunSpec) Run(ctx context.Context, opts ...RunnerOption) (*DayResult, error) {
+	r, err := s.Runner(append([]RunnerOption{WithContext(ctx)}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
 }
 
 // RunSeries simulates consecutive days under the Runner's MPPT policy,

@@ -8,6 +8,11 @@
 #                    a tree that passes this script is lint-clean
 #   go test -race  — the packages that exercise goroutines or share
 #                    state across steps
+#   fuzz smoke     — a few seconds of coverage-guided fuzzing on the
+#                    JSONL event decoder
+#   serving smoke  — boot a real solard on an ephemeral port, probe
+#                    /healthz and /v1/run over HTTP, then drive a short
+#                    solarload run and check a clean SIGTERM drain
 #
 # Run from anywhere inside the repository.
 set -eu
@@ -22,13 +27,42 @@ go vet ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race (root, exp, sim, dc, obs, fault, lint)'
-go test -race . ./internal/exp ./internal/sim ./internal/dc ./internal/obs ./internal/fault ./internal/lint
+echo '== go test -race (root, exp, sim, dc, obs, fault, lint, lru, serve, solarfleet)'
+go test -race . ./internal/exp ./internal/sim ./internal/dc ./internal/obs \
+    ./internal/fault ./internal/lint ./internal/lru ./internal/serve ./cmd/solarfleet
 
 echo '== fault sweep (smoke)'
 go test -run 'TestFaultSweepSensorDropout' ./internal/exp
 
+echo '== fuzz: obs JSONL decoder (smoke)'
+go test -run '^$' -fuzz 'FuzzReadEvents' -fuzztime 5s ./internal/obs
+
 echo '== observer + disarmed-fault overhead bench (smoke)'
 go test -run '^$' -bench 'BenchmarkRunMPPT(NopObserver|DisarmedFaults)?$' -benchtime=1x .
+
+echo '== solard serving smoke (healthz, /v1/run, solarload, graceful drain)'
+bindir="$(mktemp -d)"
+logfile="$bindir/solard.log"
+solard_pid=''
+trap 'kill "$solard_pid" 2>/dev/null || true; rm -rf "$bindir"' EXIT
+go build -o "$bindir/solard" ./cmd/solard
+go build -o "$bindir/solarload" ./cmd/solarload
+"$bindir/solard" -addr 127.0.0.1:0 -access "$bindir/access.jsonl" >"$logfile" 2>&1 &
+solard_pid=$!
+url=''
+for _ in $(seq 1 100); do
+    url="$(sed -n 's/^solard: listening on //p' "$logfile")"
+    [ -n "$url" ] && break
+    kill -0 "$solard_pid" 2>/dev/null || { cat "$logfile"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo 'solard never announced its address'; cat "$logfile"; exit 1; }
+curl -fsS "$url/healthz" >/dev/null
+curl -fsS -X POST -d '{"site":"AZ","season":"Jul","mix":"HM2","step_min":8}' \
+    "$url/v1/run" >/dev/null
+"$bindir/solarload" -url "$url" -n 2000 -c 16 -step 8
+kill -TERM "$solard_pid"
+wait "$solard_pid"
+grep -q 'drained, exiting' "$logfile" || { echo 'solard did not drain cleanly'; cat "$logfile"; exit 1; }
 
 echo 'OK'

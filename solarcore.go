@@ -29,6 +29,11 @@
 //	        solarcore.WithPolicy(solarcore.PolicyOpt))
 //	res, _ := runner.Run()
 //	fmt.Printf("utilization %.0f%%\n", res.Utilization()*100)
+//
+// For network consumers, RunSpec is the serializable equivalent of a
+// Runner configuration: cmd/solard (internal/serve) exposes the full
+// Runner API over HTTP — coalesced, cached and backpressured — keyed on
+// RunSpec.Hash (DESIGN.md §12).
 package solarcore
 
 import (
@@ -210,6 +215,13 @@ type (
 	// TracePoint is one sub-sample of a day run.
 	TracePoint = sim.TracePoint
 )
+
+// SiteByCode returns the Table 2 site with the given code ("AZ", "CO",
+// "NC" or "TN") — the resolver RunSpec.Validate uses.
+func SiteByCode(code string) (Site, error) { return atmos.SiteByCode(code) }
+
+// SeasonByName parses a season name ("Jan", "Apr", "Jul" or "Oct").
+func SeasonByName(name string) (Season, error) { return atmos.SeasonByName(name) }
 
 // GenerateWeather produces the deterministic synthetic daytime trace for a
 // site, season and day index.
