@@ -78,7 +78,7 @@ func fleetMetrics(res dc.DayResult) obs.Snapshot {
 		reg.Add("node_active_min_total", n.ActiveMin)
 		reg.Set("node_active_min{node="+n.Name+"}", n.ActiveMin)
 		reg.Set("node_solar_wh{node="+n.Name+"}", n.SolarWh)
-		reg.Observe("node_active_min", n.ActiveMin)
+		reg.Observe("node_active_min_pooled", n.ActiveMin)
 		snaps = append(snaps, reg.Snapshot())
 	}
 	return obs.MergeSnapshots(snaps...)

@@ -78,6 +78,47 @@ func TestRunConcurrent(t *testing.T) {
 	}
 }
 
+// TestRunConcurrentCFGAnalyzers runs only the CFG-based concurrency
+// suite from several goroutines at once. The analyzers build CFGs and
+// memo tables per call, so under the race detector this pins that all
+// mutable analysis state is call-local while the module load stays
+// shared and cached.
+func TestRunConcurrentCFGAnalyzers(t *testing.T) {
+	root := moduleRoot(t)
+	analyzers := []*Analyzer{AnalyzerCtxFlow, AnalyzerLockCheck, AnalyzerSpawnCheck, AnalyzerMetricName}
+	before := ModuleLoads()
+	const n = 4
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(Options{Root: root, Analyzers: analyzers})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if got, want := len(results[i].Findings), len(results[0].Findings); got != want {
+			t.Errorf("run %d: %d findings, run 0 had %d", i, got, want)
+		}
+		for _, f := range results[i].Findings {
+			switch f.Analyzer {
+			case "ctxflow", "lockcheck", "spawncheck", "metricname":
+			default:
+				t.Errorf("run %d leaked a %s finding: %s", i, f.Analyzer, f)
+			}
+		}
+	}
+	if delta := ModuleLoads() - before; delta > 1 {
+		t.Errorf("%d concurrent CFG-analyzer Runs performed %d module loads, want at most 1", n, delta)
+	}
+}
+
 // TestStaleAllowlistEntryFails pins the ratchet: an allowlist entry that
 // matches nothing must surface in UnusedAllows, which both the CLI and
 // the lint gate treat as a failure. The list can only shrink.
@@ -96,6 +137,39 @@ func TestStaleAllowlistEntryFails(t *testing.T) {
 	}
 	if e := res.UnusedAllows[0]; e.Analyzer != "floateq" || e.Path != "no_such_file.go" {
 		t.Errorf("unexpected stale entry %s %s", e.Analyzer, e.Path)
+	}
+}
+
+// TestStaleAllowlistNewAnalyzers pins that the allowlist grammar knows
+// the concurrency analyzers: entries naming them parse (an unknown
+// analyzer is a parse error), and since none of them matches anything
+// on this tree, all four surface as stale.
+func TestStaleAllowlistNewAnalyzers(t *testing.T) {
+	root := moduleRoot(t)
+	names := []string{"ctxflow", "lockcheck", "spawncheck", "metricname"}
+	var content string
+	for _, n := range names {
+		content += n + " no_such_file.go  # stale on purpose\n"
+	}
+	allow := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Root: root, Allow: allow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UnusedAllows) != len(names) {
+		t.Fatalf("got %d unused entries, want %d", len(res.UnusedAllows), len(names))
+	}
+	stale := map[string]bool{}
+	for _, e := range res.UnusedAllows {
+		stale[e.Analyzer] = true
+	}
+	for _, n := range names {
+		if !stale[n] {
+			t.Errorf("entry for %s did not surface as stale", n)
+		}
 	}
 }
 

@@ -1,0 +1,459 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the intra-procedural control-flow-graph builder under
+// solarvet's concurrency analyzers (ctxflow, lockcheck, spawncheck).
+// It is a compact, stdlib-only reimplementation of the usual CFG shape
+// (cf. golang.org/x/tools/go/cfg, which the no-dependency rule keeps
+// off-limits): one graph per function body, basic blocks holding the
+// statements and condition expressions in evaluation order, and edges
+// for every construct that branches — if/else, for/range loops,
+// switch/type-switch, select, labeled break/continue, goto, return,
+// panic, and short-circuit && / || operands. DESIGN.md §13 specifies
+// the construction rules the analyzers rely on.
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks holds every block, Entry first. Unreachable blocks (after a
+	// return, a dead goto target) stay in the slice with no Preds.
+	Blocks []*Block
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit is the synthetic block every return, panic and natural
+	// fall-off-the-end reaches; it holds no nodes.
+	Exit *Block
+	// Defers are the defer statements seen anywhere in the body, in
+	// source order. Deferred calls run during unwinding at every exit
+	// (including panics), but only when their DeferStmt node executed —
+	// which path-sensitive queries check via the DeferStmt's position in
+	// the block nodes.
+	Defers []*ast.DeferStmt
+	// Comms marks select comm statements. Their send/receive executes
+	// only when the select chose that clause, so blocking analyses must
+	// read the SelectStmt head (which knows about default clauses)
+	// instead of classifying the comm as a bare channel operation.
+	Comms map[ast.Node]bool
+}
+
+// Block is one straight-line run of nodes with branch-free execution.
+type Block struct {
+	Index int
+	// Nodes are statements and condition expressions in evaluation
+	// order. Condition expressions of if/for/switch appear as bare
+	// ast.Expr nodes; short-circuit operands get their own blocks.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// cfgBuilder carries the state of one BuildCFG run.
+type cfgBuilder struct {
+	g *CFG
+	// cur is the block under construction; nil after a terminating
+	// statement (return/goto/panic) until a new reachable block starts.
+	cur *Block
+	// breakTo / continueTo are the innermost targets; the label maps
+	// resolve labeled break/continue/goto.
+	breakTo    *Block
+	continueTo *Block
+	labelBreak map[string]*Block
+	labelCont  map[string]*Block
+	gotoTarget map[string]*Block
+	// pendingGotos are forward gotos awaiting their label's block.
+	pendingGotos map[string][]*Block
+	// pendingLabel holds a label name to bind to the next loop/switch
+	// statement for labeled break/continue.
+	pendingLabel string
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+// body may be nil (declarations without bodies); the result is then a
+// trivial Entry→Exit graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g:            &CFG{Comms: map[ast.Node]bool{}},
+		labelBreak:   map[string]*Block{},
+		labelCont:    map[string]*Block{},
+		gotoTarget:   map[string]*Block{},
+		pendingGotos: map[string][]*Block{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jumpTo(b.g.Exit) // natural fall off the end
+	for _, blk := range b.g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jumpTo links the current block to target and ends it. A nil current
+// block (already terminated) is a no-op.
+func (b *cfgBuilder) jumpTo(target *Block) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, target)
+	b.cur = nil
+}
+
+// startBlock begins a new current block (creating it when needed).
+func (b *cfgBuilder) startBlock(blk *Block) {
+	b.cur = blk
+}
+
+// add appends a node to the current block, reviving execution into a
+// fresh unreachable block when the previous statement terminated flow
+// (dead code after return still gets a graph, just with no Preds).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// stmt translates one statement into blocks and edges.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Bind the label to a fresh block so gotos can land on it, then
+		// forward it to loops/switches for labeled break/continue.
+		lblBlock := b.newBlock()
+		b.jumpTo(lblBlock)
+		b.startBlock(lblBlock)
+		b.gotoTarget[s.Label.Name] = lblBlock
+		for _, pending := range b.pendingGotos[s.Label.Name] {
+			pending.Succs = append(pending.Succs, lblBlock)
+		}
+		delete(b.pendingGotos, s.Label.Name)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		then := b.newBlock()
+		done := b.newBlock()
+		els := done
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		b.cond(s.Cond, then, els)
+		b.startBlock(then)
+		b.stmtList(s.Body.List)
+		b.jumpTo(done)
+		if s.Else != nil {
+			b.startBlock(els)
+			b.stmt(s.Else)
+			b.jumpTo(done)
+		}
+		b.startBlock(done)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		done := b.newBlock()
+		b.jumpTo(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.cond(s.Cond, body, done)
+		} else {
+			b.jumpTo(body)
+		}
+		b.withLoop(label, done, post, func() {
+			b.startBlock(body)
+			b.stmtList(s.Body.List)
+			b.jumpTo(post)
+		})
+		if s.Post != nil {
+			b.startBlock(post)
+			b.stmt(s.Post)
+			b.jumpTo(head)
+		}
+		b.startBlock(done)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		done := b.newBlock()
+		b.add(s.X) // the ranged expression is evaluated once, up front
+		b.jumpTo(head)
+		b.startBlock(head)
+		b.add(s) // the RangeStmt node itself marks each iteration's test
+		b.cur.Succs = append(b.cur.Succs, body, done)
+		b.cur = nil
+		b.withLoop(label, done, head, func() {
+			b.startBlock(body)
+			b.stmtList(s.Body.List)
+			b.jumpTo(head)
+		})
+		b.startBlock(done)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body.List, func(cc *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, len(cc.List))
+			for i, e := range cc.List {
+				nodes[i] = e
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body.List, func(*ast.CaseClause) []ast.Node { return nil })
+
+	case *ast.SelectStmt:
+		// Every comm clause is a successor of the select head; the comm
+		// statement (send/recv) executes inside its clause block. The
+		// SelectStmt node itself stays in the head block so blocking
+		// analyses can see it (a default clause makes it non-blocking).
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.startBlock(head)
+		}
+		b.add(s)
+		head = b.cur
+		b.cur = nil
+		done := b.newBlock()
+		prevBreak := b.breakTo
+		b.breakTo = done
+		if label != "" {
+			b.labelBreak[label] = done
+		}
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			blk := b.newBlock()
+			head.Succs = append(head.Succs, blk)
+			b.startBlock(blk)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+				b.g.Comms[cc.Comm] = true
+			}
+			b.stmtList(cc.Body)
+			b.jumpTo(done)
+		}
+		b.breakTo = prevBreak
+		if len(s.Body.List) == 0 {
+			head.Succs = append(head.Succs, done) // select{} blocks forever; keep the graph connected
+		}
+		b.startBlock(done)
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.add(r)
+		}
+		b.add(s)
+		b.jumpTo(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			target := b.breakTo
+			if s.Label != nil {
+				target = b.labelBreak[s.Label.Name]
+			}
+			if target != nil {
+				b.jumpTo(target)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			target := b.continueTo
+			if s.Label != nil {
+				target = b.labelCont[s.Label.Name]
+			}
+			if target != nil {
+				b.jumpTo(target)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			if target, ok := b.gotoTarget[s.Label.Name]; ok {
+				b.jumpTo(target)
+			} else if b.cur != nil {
+				// Forward goto: record the open block, patch at the label.
+				b.pendingGotos[s.Label.Name] = append(b.pendingGotos[s.Label.Name], b.cur)
+				b.cur = nil
+			}
+		case token.FALLTHROUGH:
+			// Handled structurally in caseClauses.
+		}
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s.X)
+		if isPanicCall(s.X) {
+			b.jumpTo(b.g.Exit)
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// withLoop runs body with the break/continue targets installed (and the
+// loop's label bound to them), restoring the enclosing targets after.
+func (b *cfgBuilder) withLoop(label string, breakTo, continueTo *Block, body func()) {
+	prevBreak, prevCont := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = breakTo, continueTo
+	if label != "" {
+		b.labelBreak[label] = breakTo
+		b.labelCont[label] = continueTo
+	}
+	body()
+	b.breakTo, b.continueTo = prevBreak, prevCont
+}
+
+// caseClauses lowers a switch/type-switch body: the head fans out to
+// every clause (and to done when there is no default), fallthrough
+// chains a clause into the next one.
+func (b *cfgBuilder) caseClauses(label string, clauses []ast.Stmt, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.startBlock(head)
+		head = b.cur
+	}
+	b.cur = nil
+	done := b.newBlock()
+	prevBreak := b.breakTo
+	b.breakTo = done
+	if label != "" {
+		b.labelBreak[label] = done
+	}
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		head.Succs = append(head.Succs, blocks[i])
+		b.startBlock(blocks[i])
+		for _, n := range caseNodes(cc) {
+			b.add(n)
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(clauses) {
+			b.jumpTo(blocks[i+1])
+		} else {
+			b.jumpTo(done)
+		}
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, done)
+	}
+	b.breakTo = prevBreak
+	b.startBlock(done)
+}
+
+// cond lowers a condition expression, decomposing short-circuit && / ||
+// (and ! / parens around them) so each operand evaluates in its own
+// block: in `a && b`, b runs only when a was true.
+func (b *cfgBuilder) cond(e ast.Expr, yes, no *Block) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, yes, no)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, no, yes)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(x.X, mid, no)
+			b.startBlock(mid)
+			b.cond(x.Y, yes, no)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(x.X, yes, mid)
+			b.startBlock(mid)
+			b.cond(x.Y, yes, no)
+			return
+		}
+	}
+	b.add(e)
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, yes, no)
+		b.cur = nil
+	}
+}
+
+// isPanicCall reports whether e is a call of the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps body in a function and returns its parsed block.
+// BuildCFG is pure syntax, so the snippets use undeclared helpers
+// (start, unlock, cond, ...) without type-checking.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// callNamed matches a CFG node that calls (or defers) the named
+// function.
+func callNamed(name string) func(ast.Node) bool {
+	match := func(call *ast.CallExpr) bool {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == name
+	}
+	return func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			return match(d.Call)
+		}
+		for _, call := range nodeCalls(n) {
+			if match(call) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// findNode returns the first CFG node calling the named function.
+func findNode(t *testing.T, g *CFG, name string) ast.Node {
+	t.Helper()
+	pred := callNamed(name)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if pred(n) {
+				return n
+			}
+		}
+	}
+	t.Fatalf("no CFG node calls %s", name)
+	return nil
+}
+
+// TestMustReach drives the must-reach lattice through every CFG
+// construct the concurrency analyzers rely on (DESIGN.md §13): the
+// query is always "does every path from after start() hit unlock()?".
+func TestMustReach(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"straight line", `
+			start()
+			unlock()`, true},
+		{"early return skips", `
+			start()
+			if cond() {
+				return
+			}
+			unlock()`, false},
+		{"both branches covered", `
+			start()
+			if cond() {
+				unlock()
+				return
+			}
+			unlock()`, true},
+		{"else covered", `
+			start()
+			if cond() {
+				unlock()
+			} else {
+				unlock()
+			}`, true},
+		{"defer covers later returns and panics", `
+			start()
+			defer unlock()
+			if cond() {
+				return
+			}
+			panic("boom")`, true},
+		{"defer registered too late", `
+			start()
+			if cond() {
+				return
+			}
+			defer unlock()`, false},
+		{"loop break then unlock", `
+			start()
+			for {
+				if cond() {
+					break
+				}
+			}
+			unlock()`, true},
+		{"labeled break escapes past unlock", `
+			start()
+		outer:
+			for {
+				for {
+					if cond() {
+						break outer
+					}
+					unlock()
+				}
+			}`, false},
+		{"continue keeps the loop covered", `
+			start()
+			for cond() {
+				if other() {
+					continue
+				}
+			}
+			unlock()`, true},
+		{"goto skips unlock", `
+			start()
+			if cond() {
+				goto end
+			}
+			unlock()
+		end:
+			done()`, false},
+		{"goto lands before unlock", `
+			start()
+			if cond() {
+				goto rel
+			}
+			work()
+		rel:
+			unlock()`, true},
+		{"short-circuit && right operand conditional", `
+			start()
+			if cond() && unlock() {
+				done()
+			}`, false},
+		{"short-circuit || left operand always runs", `
+			start()
+			if unlock() || cond() {
+				done()
+			}`, true},
+		{"switch without default covered by fallthrough", `
+			start()
+			switch tag() {
+			case 1:
+				fallthrough
+			case 2:
+				unlock()
+			default:
+				unlock()
+			}`, true},
+		{"switch clause misses", `
+			start()
+			switch tag() {
+			case 1:
+				unlock()
+			default:
+			}`, false},
+		{"select clause misses", `
+			start()
+			select {
+			case <-a:
+				unlock()
+			case <-b:
+			}`, false},
+		{"select all clauses covered", `
+			start()
+			select {
+			case <-a:
+				unlock()
+			case <-b:
+				unlock()
+			}`, true},
+		{"range body is conditional", `
+			start()
+			for range xs() {
+				unlock()
+			}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := BuildCFG(parseBody(t, tc.body))
+			from := findNode(t, g, "start")
+			if got := g.MustReach(from, callNamed("unlock")); got != tc.want {
+				t.Errorf("MustReach = %v, want %v\nbody:%s", got, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+// TestWalkUntil pins the held-region walk: nodes between start and the
+// stop call are visited, nodes past the stop are not, and both arms of
+// a branch are explored.
+func TestWalkUntil(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+		start()
+		mid()
+		if cond() {
+			inBranch()
+		}
+		unlock()
+		after()`))
+	var visited []string
+	g.WalkUntil(findNode(t, g, "start"), callNamed("unlock"), func(n ast.Node) {
+		for _, call := range nodeCalls(n) {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				visited = append(visited, id.Name)
+			}
+		}
+	})
+	seen := map[string]bool{}
+	for _, v := range visited {
+		seen[v] = true
+	}
+	for _, want := range []string{"mid", "cond", "inBranch"} {
+		if !seen[want] {
+			t.Errorf("region walk missed %s (visited %v)", want, visited)
+		}
+	}
+	if seen["after"] {
+		t.Errorf("region walk crossed the stop node (visited %v)", visited)
+	}
+}
+
+// TestCFGCommMarking pins that select comm statements land in clause
+// blocks and are marked in Comms, so blocking analyses read the select
+// head instead of the bare operation.
+func TestCFGCommMarking(t *testing.T) {
+	g := BuildCFG(parseBody(t, `
+		select {
+		case v := <-a:
+			use(v)
+		case b <- 1:
+		default:
+		}`))
+	marked := 0
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if g.Comms[n] {
+				marked++
+			}
+		}
+	}
+	if marked != 2 {
+		t.Errorf("marked %d comm nodes in blocks, want 2 (recv assign and send)", marked)
+	}
+}

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerCtxFlow enforces the repository's context-plumbing discipline
+// (DESIGN.md §13). Three rules, all CFG-based where paths matter:
+//
+//  1. background — context.Background() / context.TODO() may be called
+//     only in package main (CLI entry points own the root context) and
+//     in tests; library packages must accept a ctx from their caller.
+//  2. lostcancel — the cancel function returned by context.WithCancel /
+//     WithTimeout / WithDeadline must be called (or deferred, or passed
+//     on / stored) on every path to the function exit; a path that
+//     returns without it leaks the context's timer and child goroutines.
+//  3. blockingloop — a function that accepts a context (directly or via
+//     *http.Request) must not run a loop whose bare channel sends or
+//     receives can block forever without ever consulting that context;
+//     wrap the operation in a select that also watches ctx.Done().
+var AnalyzerCtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "context discipline: no Background()/TODO() outside package main, " +
+		"WithCancel/WithTimeout cancels called on every path, and blocking " +
+		"loops in ctx-accepting functions must consult the context",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	isMain := p.Pkg != nil && p.Pkg.Name() == "main"
+	for _, file := range p.Files {
+		if !isMain {
+			checkBackground(p, file)
+		}
+	}
+	funcBodies(p.Files, func(decl *ast.FuncDecl, fn *ast.FuncType, body *ast.BlockStmt) {
+		checkLostCancel(p, body)
+	})
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBlockingLoops(p, fd)
+		}
+	}
+}
+
+// checkBackground reports context.Background/TODO calls in non-main
+// packages.
+func checkBackground(p *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+			p.Reportf(call.Pos(), "context.%s() in a library package detaches this work "+
+				"from caller cancellation; accept a ctx parameter instead", fn.Name())
+		}
+		return true
+	})
+}
+
+// cancelSource reports whether call is context.WithCancel, WithTimeout
+// or WithDeadline (the constructors returning a CancelFunc).
+func cancelSource(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	for _, name := range []string{"WithCancel", "WithTimeout", "WithDeadline"} {
+		if isPkgFunc(fn, "context", name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// checkLostCancel verifies every cancel func obtained in body is used on
+// every path to the exit. A use is a call, a defer, or any other
+// reference (passing it on, storing it, returning it) — once the value
+// escapes, responsibility moved with it.
+func checkLostCancel(p *Pass, body *ast.BlockStmt) {
+	type lost struct {
+		assign *ast.AssignStmt
+		ident  *ast.Ident
+		src    string
+	}
+	var candidates []lost
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // nested literals get their own funcBodies visit
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		src, ok := cancelSource(p.Info, call)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			p.Reportf(as.Pos(), "the cancel returned by context.%s is discarded; "+
+				"the context can never be released early", src)
+			return true
+		}
+		candidates = append(candidates, lost{assign: as, ident: id, src: src})
+		return true
+	})
+	if len(candidates) == 0 {
+		return
+	}
+	g := BuildCFG(body)
+	for _, c := range candidates {
+		obj := p.Info.Defs[c.ident]
+		if obj == nil {
+			obj = p.Info.Uses[c.ident]
+		}
+		if obj == nil {
+			continue
+		}
+		uses := func(n ast.Node) bool { return nodeRefsObject(p.Info, n, obj) }
+		if !g.MustReach(c.assign, uses) {
+			p.Reportf(c.assign.Pos(), "%s returned by context.%s is not called on every path; "+
+				"defer %s() right after this assignment", c.ident.Name, c.src, c.ident.Name)
+		}
+	}
+}
+
+// nodeRefsObject reports whether CFG node n references obj when it
+// executes. Statement structure is shallow (nested statement bodies live
+// in their own blocks) but collected expressions are walked fully,
+// including function literals: a closure capturing the cancel counts as
+// handing it off.
+func nodeRefsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	scan := func(e ast.Expr) {
+		if e == nil || found {
+			return
+		}
+		ast.Inspect(e, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	switch n := n.(type) {
+	case ast.Expr:
+		scan(n)
+	case *ast.ExprStmt:
+		scan(n.X)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			scan(e)
+		}
+		for _, e := range n.Lhs {
+			scan(e)
+		}
+	case *ast.SendStmt:
+		scan(n.Chan)
+		scan(n.Value)
+	case *ast.IncDecStmt:
+		scan(n.X)
+	case *ast.DeferStmt:
+		scan(n.Call.Fun)
+		for _, a := range n.Call.Args {
+			scan(a)
+		}
+	case *ast.GoStmt:
+		scan(n.Call.Fun)
+		for _, a := range n.Call.Args {
+			scan(a)
+		}
+	case *ast.RangeStmt:
+		scan(n.Key)
+		scan(n.Value)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						scan(e)
+					}
+				}
+			}
+		}
+	}
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool { return namedIn(t, "context", "Context") }
+
+// ctxBearingParam reports whether the declared function accepts a
+// context directly or via *http.Request (whose Context method carries
+// one).
+func ctxBearingParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if isContextType(t) || namedIn(t, "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBlockingLoops flags loops in ctx-accepting functions whose bare
+// channel operations can block with the context never consulted.
+func checkBlockingLoops(p *Pass, fd *ast.FuncDecl) {
+	if !ctxBearingParam(p.Info, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if !loopHasBareBlockingOp(body) || loopConsultsContext(p.Info, body) {
+			return true
+		}
+		p.Reportf(n.Pos(), "loop performs blocking channel operations but never consults "+
+			"the function's context; select on ctx.Done() so cancellation can interrupt it")
+		return true
+	})
+}
+
+// loopHasBareBlockingOp reports whether the loop body contains a channel
+// send or receive that is not multiplexed through a select. Function
+// literals are skipped (their bodies run on other goroutines) and so are
+// nested select statements (a select shows the author multiplexes).
+func loopHasBareBlockingOp(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.SelectStmt:
+			return false
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopConsultsContext reports whether any expression inside the loop
+// body (function literals excluded) has type context.Context — an ident
+// naming a ctx, a derived ctx, or a call like r.Context().
+func loopConsultsContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isContextType(info.TypeOf(e)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

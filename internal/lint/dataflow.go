@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file is the dataflow layer over the CFG: a small must-reach
+// lattice (a fact holds at a point only when it holds along *every*
+// path) plus the region walk lockcheck uses. The lattice has two
+// elements per fact — "satisfied on all paths so far" and "avoidable" —
+// and path merges take the meet (one avoiding path makes the fact
+// avoidable), which is exactly the conservative direction a linter
+// wants: a report means a real path exists that skips the required
+// call. Cycles contribute nothing on their own: a loop that never
+// reaches Exit cannot witness avoidance, so an in-progress block
+// re-entered during the search is treated as non-avoiding.
+
+// locate finds the block and node index of n inside g, or (nil, -1).
+func (g *CFG) locate(n ast.Node) (*Block, int) {
+	for _, blk := range g.Blocks {
+		for i, node := range blk.Nodes {
+			if node == n {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// MustReach reports whether every execution path from just after node
+// `from` to the function exit passes through a node satisfying pred.
+// When `from` is not in the graph (dead code), MustReach returns true —
+// unreachable code cannot witness a violation.
+func (g *CFG) MustReach(from ast.Node, pred func(ast.Node) bool) bool {
+	blk, idx := g.locate(from)
+	if blk == nil {
+		return true
+	}
+	// state: 0 unvisited, 1 in progress, 2 avoidable, 3 covered.
+	state := make([]byte, len(g.Blocks))
+	return !g.canAvoid(blk, idx+1, pred, state)
+}
+
+// canAvoid reports whether some path from blk.Nodes[start:] reaches
+// Exit without ever satisfying pred.
+func (g *CFG) canAvoid(blk *Block, start int, pred func(ast.Node) bool, state []byte) bool {
+	for i := start; i < len(blk.Nodes); i++ {
+		if pred(blk.Nodes[i]) {
+			return false // this path is covered
+		}
+	}
+	if blk == g.Exit {
+		return true
+	}
+	// Memoize only full-block traversals; a mid-block start is unique to
+	// the query origin.
+	memo := start == 0
+	if memo {
+		switch state[blk.Index] {
+		case 1: // cycle: this path alone never reaches Exit
+			return false
+		case 2:
+			return true
+		case 3:
+			return false
+		}
+		state[blk.Index] = 1
+	}
+	avoid := false
+	for _, s := range blk.Succs {
+		if g.canAvoid(s, 0, pred, state) {
+			avoid = true
+			break
+		}
+	}
+	if memo {
+		if avoid {
+			state[blk.Index] = 2
+		} else {
+			state[blk.Index] = 3
+		}
+	}
+	return avoid
+}
+
+// WalkUntil visits every node reachable from just after `from` without
+// passing through a node satisfying stop. Each node is visited at most
+// once; the walk also stops at Exit. lockcheck uses it to enumerate the
+// region where a lock is still held (stop = the matching Unlock).
+func (g *CFG) WalkUntil(from ast.Node, stop func(ast.Node) bool, visit func(ast.Node)) {
+	blk, idx := g.locate(from)
+	if blk == nil {
+		return
+	}
+	seen := make([]bool, len(g.Blocks))
+	var walk func(b *Block, start int)
+	walk = func(b *Block, start int) {
+		for i := start; i < len(b.Nodes); i++ {
+			if stop(b.Nodes[i]) {
+				return
+			}
+			visit(b.Nodes[i])
+		}
+		if b == g.Exit {
+			return
+		}
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				walk(s, 0)
+			}
+		}
+	}
+	walk(blk, idx+1)
+}
+
+// nodeExprs collects the expressions a CFG node evaluates when it
+// executes, with shallow statement structure: nested statement bodies
+// live in their own blocks (range/select markers contribute nothing),
+// and the callee/arguments of go and defer evaluate at the statement
+// while the invoked body does not.
+func nodeExprs(n ast.Node) []ast.Expr {
+	var out []ast.Expr
+	add := func(es ...ast.Expr) {
+		for _, e := range es {
+			if e != nil {
+				out = append(out, e)
+			}
+		}
+	}
+	switch n := n.(type) {
+	case ast.Expr:
+		add(n)
+	case *ast.ExprStmt:
+		// Select comm statements enter blocks whole (not just their X).
+		add(n.X)
+	case *ast.AssignStmt:
+		add(n.Rhs...)
+		add(n.Lhs...)
+	case *ast.SendStmt:
+		add(n.Chan, n.Value)
+	case *ast.IncDecStmt:
+		add(n.X)
+	case *ast.GoStmt:
+		add(n.Call.Fun)
+		add(n.Call.Args...)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					add(vs.Values...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// nodeCalls collects the call expressions a CFG node evaluates when it
+// executes, without descending into nested function literals (their
+// bodies run later, if at all). Deferred calls are excluded — the
+// DeferStmt node marks registration, and the call runs at exit; callers
+// that care match DeferStmt explicitly.
+func nodeCalls(n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	for _, e := range nodeExprs(n) {
+		ast.Inspect(e, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				out = append(out, x)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// funcBodies yields every function body in the file set of a pass, in
+// source order: declarations first, then the literals nested in them.
+// The visit callback receives the enclosing *ast.FuncDecl (nil for
+// literals outside any declaration — impossible in well-formed files
+// but kept safe) and the body.
+func funcBodies(files []*ast.File, visit func(decl *ast.FuncDecl, fn *ast.FuncType, body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd, fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					visit(fd, lit.Type, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -89,6 +89,10 @@ func Registry() []*Analyzer {
 		AnalyzerUnitFlow,
 		AnalyzerErrCheck,
 		AnalyzerRawXML,
+		AnalyzerCtxFlow,
+		AnalyzerLockCheck,
+		AnalyzerSpawnCheck,
+		AnalyzerMetricName,
 	}
 }
 

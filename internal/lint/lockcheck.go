@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerLockCheck enforces the repository's mutex discipline
+// (DESIGN.md §13). Three rules, the last two CFG-based:
+//
+//  1. copylock — a sync.Mutex / sync.RWMutex (or a struct containing
+//     one by value) must not be copied: value parameters and value
+//     receivers silently split the lock into two.
+//  2. unlockpaths — after mu.Lock() (or RLock), every path to the
+//     function exit must pass its Unlock (or RUnlock) — as a direct
+//     call or a defer registered on that path; a return or panic that
+//     skips it leaves the mutex held forever.
+//  3. heldblocking — the region between Lock and Unlock must not
+//     contain a blocking operation: a channel send/receive, a select
+//     without default, a range over a channel, or a call into net /
+//     net/http / (os/exec.Cmd).Wait. A blocked lock-holder stalls every
+//     other goroutine that needs the mutex.
+var AnalyzerLockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "mutex discipline: no by-value mutex copies, every Lock released " +
+		"on every path (return and panic included), and no blocking " +
+		"channel/network operation while the lock is held",
+	Run: runLockCheck,
+}
+
+func runLockCheck(p *Pass) {
+	for _, file := range p.Files {
+		checkMutexCopies(p, file)
+	}
+	funcBodies(p.Files, func(decl *ast.FuncDecl, fn *ast.FuncType, body *ast.BlockStmt) {
+		checkLockPaths(p, body)
+	})
+}
+
+// typeContainsMutex reports whether t holds a sync.Mutex or sync.RWMutex
+// by value (directly, in a struct field, or in an array element).
+// Pointers and interfaces stop the search: copying them copies a
+// reference, not the lock.
+func typeContainsMutex(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if namedIn(t, "sync", "Mutex") || namedIn(t, "sync", "RWMutex") {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeContainsMutex(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeContainsMutex(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// checkMutexCopies flags value parameters, value receivers and value
+// assignments whose type carries a mutex.
+func checkMutexCopies(p *Pass, file *ast.File) {
+	checkField := func(f *ast.Field, what string) {
+		t := p.Info.TypeOf(f.Type)
+		if typeContainsMutex(t, 0) {
+			p.Reportf(f.Pos(), "%s copies a mutex by value (type %s); pass a pointer so "+
+				"both sides share one lock", what, types.TypeString(t, types.RelativeTo(p.Pkg)))
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				for _, f := range n.Recv.List {
+					checkField(f, "method receiver")
+				}
+			}
+			for _, f := range n.Type.Params.List {
+				checkField(f, "parameter")
+			}
+		case *ast.FuncLit:
+			for _, f := range n.Type.Params.List {
+				checkField(f, "parameter")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue // a blank discard keeps no second copy alive
+				}
+				rhs = ast.Unparen(rhs)
+				switch rhs.(type) {
+				case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+					// A read of an existing value: copying it duplicates
+					// any mutex inside. Composite literals and calls
+					// construct fresh values and stay legal.
+				default:
+					continue
+				}
+				if t := p.Info.TypeOf(rhs); typeContainsMutex(t, 0) {
+					p.Reportf(n.Lhs[i].Pos(), "assignment copies a mutex by value (type %s); "+
+						"use a pointer", types.TypeString(t, types.RelativeTo(p.Pkg)))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockCall decomposes a call into (receiver key, method name) when it is
+// a Lock/Unlock-family method on a sync.Mutex or sync.RWMutex. The key
+// is the printed receiver expression ("s.mu"); an unprintable receiver
+// (map index with computed key, call result) returns ok=false and the
+// lock is skipped — conservative silence beats a wrong report.
+func lockCall(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	rt := info.TypeOf(sel.X)
+	if !namedIn(rt, "sync", "Mutex") && !namedIn(rt, "sync", "RWMutex") {
+		return "", "", false
+	}
+	key, ok = exprKey(sel.X)
+	return key, sel.Sel.Name, ok
+}
+
+// exprKey renders a stable identity string for simple receiver
+// expressions: idents, selector chains, derefs and constant indexes.
+func exprKey(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		base, ok := exprKey(e.X)
+		return "*" + base, ok
+	case *ast.IndexExpr:
+		base, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		if lit, isLit := ast.Unparen(e.Index).(*ast.BasicLit); isLit {
+			return base + "[" + lit.Value + "]", true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// unlockFor maps an acquire method to its release method.
+func unlockFor(method string) string {
+	if method == "RLock" || method == "TryRLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// checkLockPaths runs the CFG rules (unlockpaths, heldblocking) over one
+// function body.
+func checkLockPaths(p *Pass, body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			for _, call := range nodeCalls(n) {
+				key, method, ok := lockCall(p.Info, call)
+				if !ok || (method != "Lock" && method != "RLock") {
+					continue
+				}
+				release := unlockFor(method)
+				releases := func(n ast.Node) bool {
+					return nodeReleases(p.Info, n, key, release)
+				}
+				if !g.MustReach(n, releases) {
+					p.Reportf(call.Pos(), "%s.%s() has a path to the function exit that never "+
+						"calls %s.%s(); release on every path or defer the unlock",
+						key, method, key, release)
+				}
+				checkHeldBlocking(p, g, n, call, key, release)
+			}
+		}
+	}
+}
+
+// nodeReleases reports whether CFG node n releases the lock: a direct
+// call of key.release in its evaluated expressions, or a defer
+// registering one (the deferred call runs at every subsequent exit,
+// panics included).
+func nodeReleases(info *types.Info, n ast.Node, key, release string) bool {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if k, m, ok := lockCall(info, d.Call); ok && k == key && m == release {
+			return true
+		}
+		return false
+	}
+	for _, call := range nodeCalls(n) {
+		if k, m, ok := lockCall(info, call); ok && k == key && m == release {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHeldBlocking walks the still-held region after an acquire and
+// reports blocking operations found inside it. The walk stops at direct
+// releases only: a deferred unlock keeps the lock held until the exit,
+// which is exactly when holding it across a blocking call hurts.
+func checkHeldBlocking(p *Pass, g *CFG, lockNode ast.Node, acquire *ast.CallExpr, key, release string) {
+	stop := func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false
+		}
+		return nodeReleases(p.Info, n, key, release)
+	}
+	lockPos := p.Fset.Position(acquire.Pos())
+	seen := map[token.Pos]bool{}
+	g.WalkUntil(lockNode, stop, func(n ast.Node) {
+		if g.Comms[n] {
+			// A select comm blocks only as part of its select; the
+			// SelectStmt head node carries that classification (and knows
+			// whether a default clause makes it non-blocking).
+			return
+		}
+		kind, pos, blocking := blockingOp(p.Info, n)
+		if !blocking || seen[pos] {
+			return
+		}
+		seen[pos] = true
+		p.Reportf(pos, "%s held across %s (locked at line %d); release the lock first "+
+			"or move the blocking operation out of the critical section",
+			key, kind, lockPos.Line)
+	})
+}
+
+// blockingOp classifies a CFG node as a potentially unbounded blocking
+// operation: channel sends/receives, selects without default, ranges
+// over channels, and calls into net, net/http or (os/exec.Cmd).Wait.
+func blockingOp(info *types.Info, n ast.Node) (kind string, pos token.Pos, blocking bool) {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "a channel send", n.Arrow, true
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return "", 0, false // default clause: non-blocking
+			}
+		}
+		return "a select with no default", n.Select, true
+	case *ast.RangeStmt:
+		if _, isChan := info.TypeOf(n.X).Underlying().(*types.Chan); isChan {
+			return "a range over a channel", n.For, true
+		}
+		return "", 0, false
+	}
+	for _, e := range nodeExprs(n) {
+		var found *ast.UnaryExpr
+		ast.Inspect(e, func(x ast.Node) bool {
+			if _, isLit := x.(*ast.FuncLit); isLit {
+				return false
+			}
+			if u, isRecv := x.(*ast.UnaryExpr); isRecv && u.Op == token.ARROW && found == nil {
+				found = u
+			}
+			return found == nil
+		})
+		if found != nil {
+			return "a channel receive", found.OpPos, true
+		}
+	}
+	for _, call := range nodeCalls(n) {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "net", "net/http":
+			return "a " + fn.Pkg().Name() + "." + fn.Name() + " call", call.Pos(), true
+		case "os/exec":
+			if fn.Name() == "Wait" || fn.Name() == "Run" || fn.Name() == "Output" || fn.Name() == "CombinedOutput" {
+				return "an exec." + fn.Name() + " call", call.Pos(), true
+			}
+		}
+	}
+	return "", 0, false
+}

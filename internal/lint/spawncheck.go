@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerSpawnCheck flags goroutines that can never be told to stop
+// (DESIGN.md §13). A `go func` literal in a library (non-main) package
+// whose body spins in an unbounded loop — `for {}` or `for cond {}` —
+// needs a termination signal: a context to consult, a done/job channel
+// to receive from (close is the broadcast), a select to multiplex, a
+// WaitGroup.Done handshake, or an explicit return/break out of the
+// loop. A goroutine with none of these outlives every caller, leaks its
+// stack and captures, and under the fleet coordinator multiplies per
+// request. Package main is exempt: process-lifetime goroutines die with
+// the process, which is their termination signal.
+var AnalyzerSpawnCheck = &Analyzer{
+	Name: "spawncheck",
+	Doc: "goroutines in library packages must be stoppable: an unbounded " +
+		"loop inside `go func` needs a ctx, a channel receive, a " +
+		"WaitGroup.Done or an exit path",
+	Run: runSpawnCheck,
+}
+
+func runSpawnCheck(p *Pass) {
+	if p.Pkg != nil && p.Pkg.Name() == "main" {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true // named funcs document their own lifecycle
+			}
+			if loop := unboundedLoopWithoutSignal(p.Info, lit.Body); loop != nil {
+				p.Reportf(g.Pos(), "goroutine runs an unbounded loop (line %d) with no "+
+					"termination signal: no context, channel receive, select, "+
+					"WaitGroup.Done or exit path — it can never be stopped",
+					p.Fset.Position(loop.Pos()).Line)
+			}
+			return true
+		})
+	}
+}
+
+// unboundedLoopWithoutSignal returns the first `for {}` / `for cond {}`
+// loop in body that has no termination signal, or nil. Signals accepted
+// anywhere in the goroutine body: a context-typed expression, a channel
+// receive (unary <-, select, range over a channel), or a WaitGroup.Done
+// call. Signals accepted inside the loop itself: a return, a break that
+// leaves it, or a goto (the target may be outside).
+func unboundedLoopWithoutSignal(info *types.Info, body *ast.BlockStmt) *ast.ForStmt {
+	if bodyHasStopSignal(info, body) {
+		return nil
+	}
+	var found *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // nested goroutine literals are checked at their own go stmt
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		if !loopHasExit(loop) {
+			found = loop
+		}
+		return true
+	})
+	return found
+}
+
+// bodyHasStopSignal reports whether the goroutine body contains any of
+// the cooperative-shutdown signals: a context-typed expression, a
+// channel receive in any form, or a WaitGroup.Done call.
+func bodyHasStopSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if _, isChan := info.TypeOf(n.X).Underlying().(*types.Chan); isChan {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Done" && namedIn(info.TypeOf(sel.X), "sync", "WaitGroup") {
+				found = true
+			}
+		case ast.Expr:
+			if isContextType(info.TypeOf(n)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopHasExit reports whether the loop body contains a statement that
+// can leave it: a return, a panic, a goto, or a break binding to it (a
+// bare break at its own nesting level, or any labeled break — the label
+// may name this loop or one further out; both escape it).
+func loopHasExit(loop *ast.ForStmt) bool {
+	return stmtsCanExit(loop.Body.List, true)
+}
+
+func stmtsCanExit(list []ast.Stmt, breakable bool) bool {
+	for _, s := range list {
+		if stmtCanExit(s, breakable) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtCanExit reports whether executing s can leave the loop under
+// analysis. breakable is true while a bare break still binds to that
+// loop; nested loops, switches and selects capture bare breaks.
+func stmtCanExit(s ast.Stmt, breakable bool) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			return true // the target may be outside the loop
+		case token.BREAK:
+			return breakable || s.Label != nil
+		}
+		return false
+	case *ast.ExprStmt:
+		return isPanicCall(s.X)
+	case *ast.BlockStmt:
+		return stmtsCanExit(s.List, breakable)
+	case *ast.LabeledStmt:
+		return stmtCanExit(s.Stmt, breakable)
+	case *ast.IfStmt:
+		if stmtsCanExit(s.Body.List, breakable) {
+			return true
+		}
+		return s.Else != nil && stmtCanExit(s.Else, breakable)
+	case *ast.ForStmt:
+		return stmtsCanExit(s.Body.List, false)
+	case *ast.RangeStmt:
+		return stmtsCanExit(s.Body.List, false)
+	case *ast.SwitchStmt:
+		return clausesCanExit(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		return clausesCanExit(s.Body.List)
+	case *ast.SelectStmt:
+		return clausesCanExit(s.Body.List)
+	}
+	return false
+}
+
+func clausesCanExit(clauses []ast.Stmt) bool {
+	for _, c := range clauses {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if stmtsCanExit(c.Body, false) {
+				return true
+			}
+		case *ast.CommClause:
+			if stmtsCanExit(c.Body, false) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+// Fixture for ctxflow: Background/TODO in a library package, cancel
+// funcs that miss a path, and ctx-blind blocking loops.
+package ctxfix
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// --- rule 1: background ---
+
+func detach() context.Context {
+	return context.Background() // want "in a library package detaches this work"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "in a library package detaches this work"
+}
+
+// --- rule 2: lostcancel ---
+
+func discards(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want "cancel returned by context.WithTimeout is discarded"
+	return ctx
+}
+
+func leaks(parent context.Context, fast bool) error {
+	ctx, cancel := context.WithCancel(parent) // want "not called on every path"
+	if fast {
+		return work(ctx) // this path never cancels
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+func deferred(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel() // registered on every path: accepted
+	return work(ctx)
+}
+
+func handsOff(parent context.Context, deadline time.Time) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithDeadline(parent, deadline)
+	return ctx, cancel // responsibility moves to the caller: accepted
+}
+
+func captured(parent context.Context, cleanup *[]func()) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	*cleanup = append(*cleanup, func() { cancel() }) // escapes into a closure: accepted
+	return ctx
+}
+
+// --- rule 3: blockingloop ---
+
+func feed(ctx context.Context, jobs chan<- int, n int) {
+	for i := 0; i < n; i++ { // want "never consults the function's context"
+		jobs <- i
+	}
+}
+
+func pump(w http.ResponseWriter, r *http.Request, out chan<- string) {
+	for _, s := range []string{"a", "b"} { // want "never consults the function's context"
+		out <- s
+	}
+}
+
+func feedCtx(ctx context.Context, jobs chan<- int, n int) {
+	for i := 0; i < n; i++ {
+		select { // multiplexed on ctx.Done: accepted
+		case jobs <- i:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func drainCtx(ctx context.Context, in <-chan int, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil { // loop consults the context: accepted
+			break
+		}
+		total += <-in
+	}
+	return total
+}

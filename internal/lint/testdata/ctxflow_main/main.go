@@ -1,0 +1,13 @@
+// Command entry points own the root context: Background/TODO are legal
+// in package main, so this fixture pins silence.
+//
+//solarvet:pkgpath solarcore/cmd/solarfix
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // entry point: no findings
+	_ = ctx
+	_ = context.TODO()
+}

@@ -1,0 +1,122 @@
+// Fixture for lockcheck: by-value mutex copies, Lock/Unlock path
+// coverage, and blocking operations inside the critical section.
+package lockfix
+
+import (
+	"net/http"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// --- rule 1: copylock ---
+
+func (b box) get() int { // want "method receiver copies a mutex by value"
+	return b.n
+}
+
+func take(b box) int { // want "parameter copies a mutex by value"
+	return b.n
+}
+
+func share(b *box) int { return b.n } // pointer receiver-style param: accepted
+
+func dup(b *box) {
+	c := *b // want "assignment copies a mutex by value"
+	_ = c
+}
+
+func fresh() box {
+	b := box{n: 1} // composite literal constructs a new value: accepted
+	return b
+}
+
+// --- rule 2: unlockpaths ---
+
+func (b *box) leak(stop bool) int {
+	b.mu.Lock() // want "path to the function exit that never calls"
+	if stop {
+		return 0 // skips the unlock
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock() // covers every exit, panics included: accepted
+	return b.n
+}
+
+func (b *box) bothPaths(stop bool) int {
+	b.mu.Lock()
+	if stop {
+		b.mu.Unlock()
+		return 0
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+func (b *box) readLeak(stop bool) int {
+	var rw sync.RWMutex
+	rw.RLock() // want "never calls rw.RUnlock"
+	if stop {
+		return 0
+	}
+	n := b.n
+	rw.RUnlock()
+	return n
+}
+
+// --- rule 3: heldblocking ---
+
+func (b *box) publish(ch chan<- int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- b.n // want "held across a channel send"
+}
+
+func (b *box) recvHeld(in <-chan int) int {
+	b.mu.Lock()
+	v := <-in // want "held across a channel receive"
+	b.mu.Unlock()
+	return v
+}
+
+func (b *box) fetchHeld(url string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err := http.Get(url) // want "held across a http.Get call"
+	return err
+}
+
+func (b *box) waitHeld(done <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "held across a select with no default"
+	case <-done: // the comm belongs to the select, not a bare receive
+	}
+}
+
+func (b *box) sendAfter(ch chan<- int) {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	ch <- n // released first: accepted
+}
+
+func (b *box) pollHeld(updates <-chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // a default clause makes the select non-blocking: accepted
+	case v := <-updates:
+		b.n = v
+	default:
+	}
+}

@@ -1,0 +1,47 @@
+// Fixture for metricname: the obs naming contract. The pkgpath override
+// makes the local Registry and Event types count as the real
+// internal/obs ones, so the analyzer's type matching can be exercised
+// from testdata.
+//
+//solarvet:pkgpath solarcore/internal/obs
+package obsfix
+
+type Registry struct{}
+
+func (r *Registry) Add(name string, v float64)     {}
+func (r *Registry) Set(name string, v float64)     {}
+func (r *Registry) Observe(name string, v float64) {}
+
+type Event struct {
+	Type string
+	Node string
+}
+
+const (
+	TypeRunStart = "run_start"
+	typeCamel    = "RunStop"
+)
+
+func emit(r *Registry, node string, v float64) {
+	r.Add("sim_runs_total", 1)            // counter with the suffix: accepted
+	r.Add("sim_steps", 1)                 // want "must end in _total"
+	r.Set("queue_depth_total", v)         // want "must not end in _total"
+	r.Set("Queue-Depth", v)               // want "not snake_case"
+	r.Set("active_min{node="+node+"}", v) // labeled gauge: accepted
+	r.Observe("active_min", v)            // want "already used as a gauge"
+	r.Add("dup_sends_total", 1)
+	r.Add("dup_sends_total", 1)            // want "already registered at line"
+	r.Add("node_"+node+"_events_total", 1) // dynamic tail: suffix unknowable, accepted
+	r.Observe(node, v)                     // wholly dynamic name: nothing to check
+}
+
+func event(kind int) Event {
+	switch kind {
+	case 0:
+		return Event{Type: TypeRunStart} // constant discriminator: accepted
+	case 1:
+		return Event{Type: "run_stop"} // want "raw string"
+	default:
+		return Event{Type: typeCamel} // want "not snake_case"
+	}
+}

@@ -1,0 +1,78 @@
+// Fixture for spawncheck: goroutines in library packages must carry a
+// termination signal or an exit path out of their unbounded loops.
+package spawnfix
+
+import (
+	"context"
+	"sync"
+)
+
+func step() bool { return false }
+
+func leak() {
+	go func() { // want "unbounded loop"
+		for {
+			step()
+		}
+	}()
+}
+
+func leakCond(running func() bool) {
+	go func() { // want "unbounded loop"
+		for running() {
+			step()
+		}
+	}()
+}
+
+func withSelect(done <-chan struct{}, jobs <-chan int) {
+	go func() { // multiplexes over done: accepted
+		for {
+			select {
+			case <-done:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func withRange(jobs <-chan int) {
+	go func() { // close(jobs) is the broadcast stop: accepted
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func withContext(ctx context.Context) {
+	go func() { // consults the caller's context: accepted
+		for ctx.Err() == nil {
+			step()
+		}
+	}()
+}
+
+func withWaitGroup(wg *sync.WaitGroup, n int) {
+	go func() { // bounded loop plus a Done handshake: accepted
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			step()
+		}
+	}()
+}
+
+func withBreak() {
+	go func() { // an explicit exit path leaves the loop: accepted
+		for {
+			if step() {
+				break
+			}
+		}
+	}()
+}
+
+func named() {
+	go step() // named funcs document their own lifecycle: accepted
+}

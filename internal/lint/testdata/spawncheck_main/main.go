@@ -1,0 +1,16 @@
+// Process-lifetime goroutines in package main die with the process —
+// that is their termination signal, so this fixture pins silence.
+//
+//solarvet:pkgpath solarcore/cmd/spawnfix
+package main
+
+func tick() {}
+
+func main() {
+	go func() { // package main: no findings
+		for {
+			tick()
+		}
+	}()
+	select {}
+}

@@ -153,6 +153,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	ctx := r.Context()
 	items := make([]SweepItem, len(req.Runs))
 	workers := s.cfg.MaxInflight
 	if workers > len(req.Runs) {
@@ -165,24 +166,53 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				spec := req.Runs[i]
-				items[i].Hash = spec.Hash()
-				body, src, err := s.Result(r.Context(), spec.RunSpec, spec.TimeoutMs)
-				if err != nil {
-					items[i].Error = err.Error()
-					continue
-				}
-				items[i].Cache = src
-				items[i].Result = body
+				items[i] = s.sweepItem(ctx, req.Runs[i])
 			}
 		}()
 	}
+	// Feed under the request context: a client that disconnects (or a
+	// worker pool wedged by a panic) must not leave this loop blocked on
+	// a bare send forever. Cells never fed report the context error.
+	fed := len(req.Runs)
+feed:
 	for i := range req.Runs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			fed = i
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	for i := fed; i < len(items); i++ {
+		items[i].Hash = req.Runs[i].Hash()
+		items[i].Error = fmt.Errorf("sweep canceled: %w", ctx.Err()).Error()
+	}
 	s.writeJSON(w, http.StatusOK, SweepResponse{Results: items})
+}
+
+// sweepItem runs one sweep cell, containing a panicking simulation to
+// its own item (the sweep workers sit outside the middleware's recover,
+// so without this a single bad cell would take down the process).
+func (s *Server) sweepItem(ctx context.Context, spec RunRequest) (item SweepItem) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.countPanic()
+			item.Cache = ""
+			item.Result = nil
+			item.Error = fmt.Sprintf("run panicked: %v", p)
+		}
+	}()
+	item.Hash = spec.Hash()
+	body, src, err := s.Result(ctx, spec.RunSpec, spec.TimeoutMs)
+	if err != nil {
+		item.Error = err.Error()
+		return item
+	}
+	item.Cache = src
+	item.Result = body
+	return item
 }
 
 // handlePolicies serves GET /v1/policies: the Table 6 policy names.

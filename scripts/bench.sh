@@ -1,0 +1,65 @@
+#!/bin/sh
+# Performance snapshot: writes BENCH_<yyyymmdd>.json at the repo root
+# with the three numbers the roadmap tracks release over release:
+#
+#   sim_ns_per_day      — BenchmarkRunMPPT (one full simulated day,
+#                         8-minute steps) from bench_test.go
+#   served_req_per_sec  — solarload sustained rate on the cached path
+#                         against a real solard on an ephemeral port
+#   solarvet_wall_ms    — a full cold solarvet pass (parse + type-check
+#                         + all analyzers over the whole module)
+#
+# Usage: ./scripts/bench.sh   (from anywhere inside the repository)
+set -eu
+cd "$(dirname "$0")/.."
+
+stamp="$(date +%Y%m%d)"
+out="BENCH_${stamp}.json"
+workdir="$(mktemp -d)"
+solard_pid=''
+trap 'kill "$solard_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+echo '== sim: BenchmarkRunMPPT'
+go test -run '^$' -bench '^BenchmarkRunMPPT$' -benchtime 3x . > "$workdir/sim.txt"
+# "BenchmarkRunMPPT-8   5   123456789 ns/op" -> 123456789
+sim_ns="$(awk '/^BenchmarkRunMPPT/ {print $3; exit}' "$workdir/sim.txt")"
+[ -n "$sim_ns" ] || { echo 'benchmark produced no ns/op'; cat "$workdir/sim.txt"; exit 1; }
+
+echo '== serve: solard + solarload (cached path)'
+go build -o "$workdir/solard" ./cmd/solard
+go build -o "$workdir/solarload" ./cmd/solarload
+"$workdir/solard" -addr 127.0.0.1:0 > "$workdir/solard.log" 2>&1 &
+solard_pid=$!
+url=''
+for _ in $(seq 1 100); do
+    url="$(sed -n 's/^solard: listening on //p' "$workdir/solard.log")"
+    [ -n "$url" ] && break
+    kill -0 "$solard_pid" 2>/dev/null || { cat "$workdir/solard.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo 'solard never announced its address'; exit 1; }
+"$workdir/solarload" -url "$url" -n 3000 -c 16 -step 8 > "$workdir/load.txt"
+# "wall         : 1.23 s  (2434 req/s sustained)" -> 2434
+req_s="$(sed -n 's/.*(\([0-9][0-9]*\) req\/s sustained).*/\1/p' "$workdir/load.txt")"
+[ -n "$req_s" ] || { echo 'solarload printed no sustained rate'; cat "$workdir/load.txt"; exit 1; }
+kill -TERM "$solard_pid"
+wait "$solard_pid" || true
+solard_pid=''
+
+echo '== lint: cold solarvet wall time'
+go build -o "$workdir/solarvet" ./cmd/solarvet
+start_ms="$(date +%s%3N)"
+"$workdir/solarvet" > /dev/null 2>&1 || { echo 'solarvet found a dirty tree'; exit 1; }
+end_ms="$(date +%s%3N)"
+vet_ms=$((end_ms - start_ms))
+
+cat > "$out" <<JSON
+{
+  "date": "$(date +%Y-%m-%d)",
+  "sim_ns_per_day": $sim_ns,
+  "served_req_per_sec": $req_s,
+  "solarvet_wall_ms": $vet_ms
+}
+JSON
+echo "wrote $out"
+cat "$out"

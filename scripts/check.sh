@@ -6,6 +6,11 @@
 #   go test ./...  — unit, property, golden and paper-gate tests; the
 #                    solarvet lint gate (lint_test.go) runs here too, so
 #                    a tree that passes this script is lint-clean
+#   solarvet -json — the full static-analysis report, written to
+#                    solarvet-report.json (CI uploads it as an
+#                    artifact); the gate itself already ran inside
+#                    go test, this step preserves the machine-readable
+#                    evidence
 #   go test -race  — the packages that exercise goroutines or share
 #                    state across steps
 #   fuzz smoke     — a few seconds of coverage-guided fuzzing on the
@@ -26,6 +31,9 @@ go vet ./...
 
 echo '== go test ./...'
 go test ./...
+
+echo '== solarvet -json report (solarvet-report.json)'
+go run ./cmd/solarvet -json > solarvet-report.json
 
 echo '== go test -race (root, exp, sim, dc, obs, fault, lint, lru, serve, solarfleet)'
 go test -race . ./internal/exp ./internal/sim ./internal/dc ./internal/obs \
