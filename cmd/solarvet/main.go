@@ -3,21 +3,28 @@
 //
 //	file:line:col: [analyzer] message
 //
-// Exit status is 0 on a clean tree, 1 when findings (or stale allowlist
-// entries) remain, and 2 on a driver failure. The same registry runs
-// in-process from lint_test.go, so `go test ./...` enforces the gate;
-// this command is the human-facing front end.
+// Exit status is 0 on a clean tree, 1 when findings (or stale, expired
+// or unused allowlist entries and budgets) remain, and 2 on a driver
+// failure. The same registry runs in-process from lint_test.go, so
+// `go test ./...` enforces the gate; this command is the human-facing
+// front end.
 //
 // Usage:
 //
-//	solarvet [-json] [-allow file] [-analyzers a,b,c] [-rules] [packages]
+//	solarvet [-json] [-fix [-diff]] [-allow file] [-analyzers a,b,c] [-rules] [packages]
 //
 // The package arguments are accepted for familiarity (`solarvet ./...`)
 // but the driver always loads every package in the module. -analyzers
 // restricts the run to a comma-separated subset of the registry (names
-// as shown by -rules); an unknown name is a usage error. The allowlist
-// defaults to .solarvet.allow at the module root; see DESIGN.md for the
-// entry format.
+// as shown by -rules); an unknown name is a usage error. -fix applies
+// the suggested fixes attached to findings (gofmt-clean, refusing
+// overlapping edits); -fix -diff prints the planned rewrites as a
+// unified diff without touching any file. The allowlist defaults to
+// .solarvet.allow at the module root; see DESIGN.md for the entry
+// format. -json emits the version-2 report object (findings plus a
+// summary with per-analyzer finding/suppression counts and fix
+// accounting), which scripts/check.sh preserves as
+// solarvet-report.json.
 package main
 
 import (
@@ -26,72 +33,185 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"solarcore/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
-	allow := flag.String("allow", "", "allowlist file (default: <module root>/.solarvet.allow if present)")
-	names := flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
-	rules := flag.Bool("rules", false, "print the analyzer registry and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver: it parses args, executes the suite, and
+// returns the process exit code (0 clean, 1 findings or stale
+// allowlist state, 2 driver/usage failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("solarvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the version-2 JSON report")
+	allow := fs.String("allow", "", "allowlist file (default: <module root>/.solarvet.allow if present)")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
+	rules := fs.Bool("rules", false, "print the analyzer registry and exit")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree")
+	diff := fs.Bool("diff", false, "with -fix, print a unified diff instead of writing files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *diff && !*fix {
+		fmt.Fprintln(stderr, "solarvet: -diff requires -fix")
+		return 2
+	}
 
 	if *rules {
 		for _, a := range lint.Registry() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers, err := selectAnalyzers(*names)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "solarvet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "solarvet: %v\n", err)
+		return 2
 	}
 
-	res, err := lint.Run(lint.Options{Allow: *allow, Analyzers: analyzers})
+	res, err := lint.Run(lint.Options{Allow: *allow, Analyzers: analyzers, Today: time.Now()})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "solarvet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "solarvet: %v\n", err)
+		return 2
 	}
 
 	bad := false
 	for _, err := range res.LoadErrors {
 		bad = true
-		fmt.Fprintf(os.Stderr, "solarvet: load: %v\n", err)
+		fmt.Fprintf(stderr, "solarvet: load: %v\n", err)
+	}
+
+	// Fix planning happens before reporting so the JSON summary can
+	// carry the counts. In write mode the edits land on disk and the
+	// module cache is dropped (it describes the pre-fix tree).
+	applied, conflicts := 0, 0
+	var plans []*lint.FileFix
+	if *fix {
+		plans, err = lint.PlanFixes(res.Module.Fset, res.Findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "solarvet: %v\n", err)
+			return 2
+		}
+		for _, ff := range plans {
+			applied += len(ff.Applied)
+			conflicts += len(ff.Conflicts)
+			for _, c := range ff.Conflicts {
+				fmt.Fprintf(stderr, "solarvet: skipped conflicting fix at %s (%s); re-run solarvet -fix after this batch lands\n",
+					c.Pos, c.Fix.Message)
+			}
+		}
+		if *diff {
+			for _, ff := range plans {
+				if !ff.Changed() {
+					continue
+				}
+				fmt.Fprint(stdout, lint.UnifiedDiff(relTo(res.Module.Root, ff.Path), ff.Orig, ff.New))
+			}
+		} else {
+			files := 0
+			for _, ff := range plans {
+				if !ff.Changed() {
+					continue
+				}
+				if err := ff.Apply(); err != nil {
+					fmt.Fprintf(stderr, "solarvet: %v\n", err)
+					return 2
+				}
+				files++
+			}
+			if files > 0 {
+				lint.InvalidateModuleCache(res.Module.Root)
+			}
+			fmt.Fprintf(stderr, "solarvet: applied %d fix(es) across %d file(s)\n", applied, files)
+		}
 	}
 
 	if *jsonOut {
-		if err := writeJSON(os.Stdout, res.Findings); err != nil {
-			fmt.Fprintf(os.Stderr, "solarvet: %v\n", err)
-			os.Exit(2)
+		rep := buildReport(res, analyzers, applied, *fix && !*diff)
+		if err := writeJSON(stdout, rep); err != nil {
+			fmt.Fprintf(stderr, "solarvet: %v\n", err)
+			return 2
 		}
-	} else {
+	} else if !*fix || !*diff {
 		for _, f := range res.Findings {
-			fmt.Println(f)
+			if *fix && !*diff && fixWasApplied(plans, f) {
+				continue // resolved on disk just now
+			}
+			fmt.Fprintln(stdout, f)
 		}
 	}
-	if len(res.Findings) > 0 {
+	remaining := len(res.Findings)
+	if *fix && !*diff {
+		remaining -= applied
+	}
+	if remaining > 0 {
 		bad = true
 	}
 	// Only a full-registry run can judge allowlist staleness: under a
 	// subset, entries for the analyzers left out legitimately match
 	// nothing.
 	if *names == "" {
+		for _, e := range res.ExpiredAllows {
+			bad = true
+			fmt.Fprintf(stderr, "solarvet: expired allowlist entry %s:%d (%s %s, expires=%s) — re-justify or remove it\n",
+				res.AllowSource, e.Line, e.Analyzer, e.Path, e.Expires)
+		}
+		for _, b := range res.ExpiredBudgets {
+			bad = true
+			fmt.Fprintf(stderr, "solarvet: expired hotcost budget %s:%d (%s, expires=%s) — re-justify or remove it\n",
+				res.AllowSource, b.Line, b.Root, b.Expires)
+		}
 		for _, e := range res.UnusedAllows {
 			bad = true
-			fmt.Fprintf(os.Stderr, "solarvet: stale allowlist entry %s:%d (%s %s) — matched nothing, remove it\n",
+			fmt.Fprintf(stderr, "solarvet: stale allowlist entry %s:%d (%s %s) — matched nothing, remove it\n",
 				res.AllowSource, e.Line, e.Analyzer, e.Path)
+		}
+		for _, b := range res.UnusedBudgets {
+			bad = true
+			fmt.Fprintf(stderr, "solarvet: stale hotcost budget %s:%d (%s) — no such hot root, remove it\n",
+				res.AllowSource, b.Line, b.Root)
 		}
 	}
 	if res.Suppressed > 0 {
-		fmt.Fprintf(os.Stderr, "solarvet: %d finding(s) suppressed by allowlist\n", res.Suppressed)
+		fmt.Fprintf(stderr, "solarvet: %d finding(s) suppressed by allowlist\n", res.Suppressed)
 	}
 	if bad {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// fixWasApplied reports whether f is one of the findings whose fix
+// landed in plans.
+func fixWasApplied(plans []*lint.FileFix, f Finding) bool {
+	for _, ff := range plans {
+		for _, a := range ff.Applied {
+			if a.File == f.File && a.Line == f.Line && a.Col == f.Col &&
+				a.Analyzer == f.Analyzer && a.Message == f.Message {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Finding aliases lint.Finding for local signatures.
+type Finding = lint.Finding
+
+// relTo renders path relative to root with forward slashes.
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
 }
 
 // selectAnalyzers resolves a comma-separated -analyzers value against
@@ -117,14 +237,74 @@ func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
 	return out, nil
 }
 
-// writeJSON emits findings as a JSON array. A clean tree encodes as []
-// rather than null so consumers can index the result unconditionally;
-// the element schema is pinned by TestJSONSchemaRoundTrip.
-func writeJSON(w io.Writer, findings []lint.Finding) error {
+// report is the version-2 JSON schema emitted by -json and preserved
+// by CI as solarvet-report.json. findings encodes as [] rather than
+// null on a clean tree so consumers can index it unconditionally;
+// TestJSONSchemaRoundTrip pins the layout.
+type report struct {
+	Version  int            `json:"version"`
+	Findings []lint.Finding `json:"findings"`
+	Summary  reportSummary  `json:"summary"`
+}
+
+type reportSummary struct {
+	// TotalFindings counts findings that survived the allowlist — the
+	// list above, before any -fix application.
+	TotalFindings int `json:"total_findings"`
+	// Suppressed counts allowlisted findings.
+	Suppressed int `json:"suppressed"`
+	// FixesAvailable counts findings carrying a machine-applicable fix;
+	// FixesApplied counts those -fix actually wrote this run (0 without
+	// -fix, or with -fix -diff).
+	FixesAvailable int `json:"fixes_available"`
+	FixesApplied   int `json:"fixes_applied"`
+	// Analyzers has one entry per analyzer that ran, zero counts
+	// included.
+	Analyzers map[string]reportAnalyzer `json:"analyzers"`
+}
+
+type reportAnalyzer struct {
+	Findings   int `json:"findings"`
+	Suppressed int `json:"suppressed"`
+}
+
+// buildReport assembles the version-2 report from a run result.
+func buildReport(res *lint.Result, analyzers []*lint.Analyzer, applied int, wrote bool) report {
+	if analyzers == nil {
+		analyzers = lint.Registry()
+	}
+	perAnalyzer := map[string]reportAnalyzer{}
+	for _, a := range analyzers {
+		perAnalyzer[a.Name] = reportAnalyzer{Suppressed: res.SuppressedBy[a.Name]}
+	}
+	fixable := 0
+	for _, f := range res.Findings {
+		ra := perAnalyzer[f.Analyzer]
+		ra.Findings++
+		perAnalyzer[f.Analyzer] = ra
+		if f.Fix != nil {
+			fixable++
+		}
+	}
+	findings := res.Findings
 	if findings == nil {
 		findings = []lint.Finding{}
 	}
+	sum := reportSummary{
+		TotalFindings:  len(res.Findings),
+		Suppressed:     res.Suppressed,
+		FixesAvailable: fixable,
+		Analyzers:      perAnalyzer,
+	}
+	if wrote {
+		sum.FixesApplied = applied
+	}
+	return report{Version: 2, Findings: findings, Summary: sum}
+}
+
+// writeJSON emits the report with stable indentation.
+func writeJSON(w io.Writer, rep report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(findings)
+	return enc.Encode(rep)
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strings"
@@ -10,55 +12,107 @@ import (
 	"solarcore/internal/lint"
 )
 
-// TestJSONSchemaRoundTrip pins the -json wire format: exactly the five
-// keys file/line/col/analyzer/message per finding (Pos stays internal),
-// and a decode of the emitted bytes reproduces the findings.
+// TestJSONSchemaRoundTrip pins the version-2 report wire format: the
+// top-level {version, findings, summary} object, exactly the five keys
+// file/line/col/analyzer/message per finding (Pos stays internal), the
+// summary counters, and that a decode of the emitted bytes reproduces
+// the report.
 func TestJSONSchemaRoundTrip(t *testing.T) {
-	in := []lint.Finding{
-		{File: "internal/pv/module.go", Line: 42, Col: 7, Analyzer: "unitflow",
-			Message: "+ mixes W and V"},
-		{File: "internal/thermal/thermal.go", Line: 9, Col: 3, Analyzer: "floateq",
-			Message: "floating-point == comparison"},
+	res := &lint.Result{
+		Findings: []lint.Finding{
+			{File: "internal/pv/module.go", Line: 42, Col: 7, Analyzer: "unitflow",
+				Message: "+ mixes W and V"},
+			{File: "internal/thermal/thermal.go", Line: 9, Col: 3, Analyzer: "floateq",
+				Message: "floating-point == comparison",
+				Fix:     &lint.Fix{Message: "rewrite"}},
+		},
+		Suppressed:   3,
+		SuppressedBy: map[string]int{"floateq": 2, "detcheck": 1},
 	}
+	rep := buildReport(res, nil, 0, false)
 	var buf strings.Builder
-	if err := writeJSON(&buf, in); err != nil {
+	if err := writeJSON(&buf, rep); err != nil {
 		t.Fatal(err)
 	}
 
-	var generic []map[string]any
+	var generic map[string]any
 	if err := json.Unmarshal([]byte(buf.String()), &generic); err != nil {
 		t.Fatalf("emitted JSON does not decode: %v", err)
 	}
-	want := []string{"analyzer", "col", "file", "line", "message"}
-	for i, obj := range generic {
+	var top []string
+	for k := range generic {
+		top = append(top, k)
+	}
+	sort.Strings(top)
+	if want := []string{"findings", "summary", "version"}; !reflect.DeepEqual(top, want) {
+		t.Errorf("top-level keys %v, want %v", top, want)
+	}
+	if v := generic["version"].(float64); v != 2 {
+		t.Errorf("version = %v, want 2", v)
+	}
+	wantKeys := []string{"analyzer", "col", "file", "line", "message"}
+	for i, obj := range generic["findings"].([]any) {
 		var keys []string
-		for k := range obj {
+		for k := range obj.(map[string]any) {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		if !reflect.DeepEqual(keys, want) {
-			t.Errorf("finding %d has keys %v, want %v", i, keys, want)
+		if !reflect.DeepEqual(keys, wantKeys) {
+			t.Errorf("finding %d has keys %v, want %v", i, keys, wantKeys)
 		}
 	}
+	summary := generic["summary"].(map[string]any)
+	var sumKeys []string
+	for k := range summary {
+		sumKeys = append(sumKeys, k)
+	}
+	sort.Strings(sumKeys)
+	wantSum := []string{"analyzers", "fixes_applied", "fixes_available", "suppressed", "total_findings"}
+	if !reflect.DeepEqual(sumKeys, wantSum) {
+		t.Errorf("summary keys %v, want %v", sumKeys, wantSum)
+	}
 
-	var out []lint.Finding
+	var out report
 	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(in, out) {
-		t.Errorf("round trip changed findings:\n in: %+v\nout: %+v", in, out)
+	if out.Version != 2 || out.Summary.TotalFindings != 2 ||
+		out.Summary.Suppressed != 3 || out.Summary.FixesAvailable != 1 {
+		t.Errorf("round trip summary = %+v", out.Summary)
+	}
+	for i := range out.Findings {
+		if out.Findings[i].String() != res.Findings[i].String() {
+			t.Errorf("finding %d changed: %s -> %s", i, res.Findings[i], out.Findings[i])
+		}
+	}
+	// Every analyzer in the (full) registry has a summary row, and the
+	// per-analyzer counters match the inputs.
+	if len(out.Summary.Analyzers) != len(lint.Registry()) {
+		t.Errorf("summary covers %d analyzers, want %d", len(out.Summary.Analyzers), len(lint.Registry()))
+	}
+	if a := out.Summary.Analyzers["floateq"]; a.Findings != 1 || a.Suppressed != 2 {
+		t.Errorf("floateq row = %+v", a)
+	}
+	if a := out.Summary.Analyzers["detcheck"]; a.Findings != 0 || a.Suppressed != 1 {
+		t.Errorf("detcheck row = %+v", a)
 	}
 }
 
-// TestJSONEmptyIsArray pins that a clean tree emits [] — not null — so
-// downstream tooling can index the result without a nil check.
+// TestJSONEmptyIsArray pins that a clean tree emits "findings": [] —
+// not null — so downstream tooling can index the result unconditionally.
 func TestJSONEmptyIsArray(t *testing.T) {
 	var buf strings.Builder
-	if err := writeJSON(&buf, nil); err != nil {
+	if err := writeJSON(&buf, buildReport(&lint.Result{}, nil, 0, false)); err != nil {
 		t.Fatal(err)
 	}
-	if got := strings.TrimSpace(buf.String()); got != "[]" {
-		t.Errorf("nil findings encode as %q, want []", got)
+	var out struct {
+		Findings json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(out.Findings)); got != "[]" {
+		t.Errorf("empty findings encode as %q, want []", got)
 	}
 }
 
@@ -108,35 +162,142 @@ func TestSubsetRun(t *testing.T) {
 			t.Errorf("subset run leaked a %s finding: %s", f.Analyzer, f)
 		}
 	}
-	if res.Findings == nil && res.Suppressed == 0 {
-		// Fine: the tree is clean under these analyzers with no
-		// grandfathered entries; nothing further to assert.
-		t.Logf("subset run clean")
-	}
 }
 
 // TestJSONRealRun round-trips the actual driver output: whatever a full
-// module run reports (including allowlist-suppressed findings surfaced
-// by an empty allowlist) must survive encode/decode unchanged.
+// module run reports must survive encode/decode unchanged.
 func TestJSONRealRun(t *testing.T) {
 	res, err := lint.Run(lint.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf strings.Builder
-	if err := writeJSON(&buf, res.Findings); err != nil {
+	if err := writeJSON(&buf, buildReport(res, nil, 0, false)); err != nil {
 		t.Fatal(err)
 	}
-	var out []lint.Finding
+	var out report
 	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != len(res.Findings) {
-		t.Errorf("round trip kept %d of %d findings", len(out), len(res.Findings))
+	if len(out.Findings) != len(res.Findings) {
+		t.Errorf("round trip kept %d of %d findings", len(out.Findings), len(res.Findings))
 	}
-	for i := range out {
-		if out[i].String() != res.Findings[i].String() {
-			t.Errorf("finding %d changed: %s -> %s", i, res.Findings[i], out[i])
+	for i := range out.Findings {
+		if out.Findings[i].String() != res.Findings[i].String() {
+			t.Errorf("finding %d changed: %s -> %s", i, res.Findings[i], out.Findings[i])
 		}
+	}
+	if out.Summary.Suppressed != res.Suppressed {
+		t.Errorf("suppressed = %d, want %d", out.Summary.Suppressed, res.Suppressed)
+	}
+}
+
+// scratchModule writes a throwaway module with one errcheck violation
+// (whose fix is unambiguous) and chdirs into it.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module scratch.example\n\ngo 1.22\n")
+	writeFile("bad.go", `package scratch
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+// Use drops the error, which errcheck flags and can auto-fix.
+func Use() {
+	fail()
+}
+`)
+	t.Chdir(dir)
+	return dir
+}
+
+// TestExitCodes pins the process exit contract: 0 clean, 1 findings,
+// 2 usage/driver failure — plus the -fix dry-run (-diff leaves the tree
+// untouched and still exits 1) and the -fix write path (exit 0 once the
+// only finding is fixed, idempotent on a second pass).
+func TestExitCodes(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-rules"}, &out, &errb); code != 0 {
+		t.Fatalf("-rules exit = %d, want 0\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "detcheck") || !strings.Contains(out.String(), "hotcost") {
+		t.Errorf("-rules misses the module analyzers:\n%s", out.String())
+	}
+	if code := run([]string{"-analyzers", "nosuch"}, &out, &errb); code != 2 {
+		t.Errorf("unknown analyzer exit = %d, want 2", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-diff"}, &out, &errb); code != 2 {
+		t.Errorf("-diff without -fix exit = %d, want 2", code)
+	}
+
+	dir := scratchModule(t)
+	badPath := filepath.Join(dir, "bad.go")
+	before, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("dirty tree exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "errcheck") {
+		t.Errorf("findings not printed:\n%s", out.String())
+	}
+
+	// Dry run: the diff shows the rewrite, the file stays untouched, and
+	// the exit code still reports the findings.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-fix", "-diff"}, &out, &errb); code != 1 {
+		t.Fatalf("-fix -diff exit = %d, want 1\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "+\t_ = fail()") {
+		t.Errorf("dry-run diff missing the rewrite:\n%s", out.String())
+	}
+	after, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Error("-fix -diff modified the file")
+	}
+
+	// Write mode: the fix lands, the run reports clean, and a second
+	// -fix pass has nothing left to do (idempotency).
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-fix"}, &out, &errb); code != 0 {
+		t.Fatalf("-fix exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	fixed, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "_ = fail()") {
+		t.Errorf("fix not written:\n%s", fixed)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-fix"}, &out, &errb); code != 0 {
+		t.Fatalf("second -fix exit = %d, want 0\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "applied 0 fix(es)") {
+		t.Errorf("second -fix should apply nothing:\n%s", errb.String())
+	}
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Errorf("clean tree exit = %d, want 0", code)
 	}
 }

@@ -296,7 +296,7 @@ type NodeDayResult struct {
 // Utilization returns solar energy used over the theoretical maximum.
 //
 // unit: ratio
-func (r DayResult) Utilization() float64 {
+func (r *DayResult) Utilization() float64 {
 	if r.MPPEnergyWh <= 0 {
 		return 0
 	}

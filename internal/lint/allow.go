@@ -3,32 +3,63 @@ package lint
 import (
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // AllowEntry grandfathers one class of finding. Findings match when the
 // analyzer name is equal (or the entry says "*"), the finding's
 // root-relative file path equals or ends with Path, and the message
-// contains Substring (empty matches any message).
+// contains Substring (empty matches any message). An entry may carry an
+// `expires=YYYY-MM-DD` token: past that date it stops matching and
+// fails the gate like a stale entry — grandfathering with a deadline.
 type AllowEntry struct {
 	Analyzer  string
 	Path      string
 	Substring string
 	Line      int    // line number in the allowlist file, for diagnostics
 	Reason    string // trailing comment, kept for reporting
+	Expires   string // "YYYY-MM-DD", empty for no expiry
 	used      bool
+	expired   bool
+}
+
+// BudgetEntry is a hotcost cost budget: the maximum number of static
+// allocation sites allowed reachable from one call-graph root. Format:
+//
+//	hotcost-budget <root-name> <max> [expires=YYYY-MM-DD]  # reason
+//
+// The hotcost analyzer fails the gate when a root exceeds its budget or
+// has none recorded; a budget whose root no longer exists is stale.
+type BudgetEntry struct {
+	Root    string
+	Max     int
+	Line    int
+	Reason  string
+	Expires string
+	used    bool
+	expired bool
 }
 
 // Allowlist is a parsed .solarvet.allow file.
 type Allowlist struct {
 	Source  string
 	Entries []*AllowEntry
+	// Budgets maps hotcost root names to their budgets.
+	Budgets map[string]*BudgetEntry
 }
+
+// expiresRE pins the expiry token grammar to a full ISO date.
+var expiresRE = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
 
 // ParseAllowlistFile reads an allowlist. Each non-blank, non-comment
 // line has the form
 //
-//	analyzer path-suffix [message substring...]  # reason
+//	analyzer path-suffix [message substring...] [expires=YYYY-MM-DD]  # reason
+//	hotcost-budget root-name max [expires=YYYY-MM-DD]                # reason
 //
 // The reason comment is strongly encouraged: the allowlist is for
 // *justified* exceptions, and the justification belongs next to the
@@ -42,7 +73,7 @@ func ParseAllowlistFile(path string) (*Allowlist, error) {
 }
 
 func parseAllowlist(source, data string) (*Allowlist, error) {
-	al := &Allowlist{Source: source}
+	al := &Allowlist{Source: source, Budgets: map[string]*BudgetEntry{}}
 	for i, raw := range strings.Split(data, "\n") {
 		line := raw
 		var reason string
@@ -55,8 +86,44 @@ func parseAllowlist(source, data string) (*Allowlist, error) {
 			continue
 		}
 		fields := strings.Fields(line)
+		// An expires= token may sit anywhere after the first two fields;
+		// strip it out before interpreting the rest.
+		expires := ""
+		kept := fields[:0]
+		for _, f := range fields {
+			if v, ok := strings.CutPrefix(f, "expires="); ok {
+				if expires != "" {
+					return nil, fmt.Errorf("%s:%d: duplicate expires= token", source, i+1)
+				}
+				if !expiresRE.MatchString(v) {
+					return nil, fmt.Errorf("%s:%d: bad expires date %q (want YYYY-MM-DD)", source, i+1, v)
+				}
+				if _, err := time.Parse("2006-01-02", v); err != nil {
+					return nil, fmt.Errorf("%s:%d: bad expires date %q: not a calendar date", source, i+1, v)
+				}
+				expires = v
+				continue
+			}
+			kept = append(kept, f)
+		}
+		fields = kept
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("%s:%d: allowlist entry needs at least `analyzer path`", source, i+1)
+		}
+		if fields[0] == "hotcost-budget" {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%s:%d: hotcost-budget needs `hotcost-budget root max`", source, i+1)
+			}
+			max, err := strconv.Atoi(fields[2])
+			if err != nil || max < 0 {
+				return nil, fmt.Errorf("%s:%d: hotcost-budget max %q is not a non-negative integer", source, i+1, fields[2])
+			}
+			root := fields[1]
+			if _, dup := al.Budgets[root]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate hotcost-budget for root %s", source, i+1, root)
+			}
+			al.Budgets[root] = &BudgetEntry{Root: root, Max: max, Line: i + 1, Reason: reason, Expires: expires}
+			continue
 		}
 		if fields[0] != "*" && ByName(fields[0]) == nil {
 			return nil, fmt.Errorf("%s:%d: unknown analyzer %q", source, i+1, fields[0])
@@ -67,18 +134,64 @@ func parseAllowlist(source, data string) (*Allowlist, error) {
 			Substring: strings.Join(fields[2:], " "),
 			Line:      i + 1,
 			Reason:    reason,
+			Expires:   expires,
 		})
 	}
 	return al, nil
 }
 
+// MarkExpired flags every entry and budget whose expires date lies
+// strictly before today and returns the expired allow entries (expired
+// budgets surface through hotcost's missing-budget finding plus the
+// returned list). Expired entries no longer match findings and are
+// excluded from Unused — they get their own gate failure. ISO dates
+// compare correctly as strings, so no clock arithmetic is involved.
+func (al *Allowlist) MarkExpired(today time.Time) (entries []*AllowEntry, budgets []*BudgetEntry) {
+	if al == nil {
+		return nil, nil
+	}
+	day := today.Format("2006-01-02")
+	for _, e := range al.Entries {
+		if e.Expires != "" && e.Expires < day {
+			e.expired = true
+			entries = append(entries, e)
+		}
+	}
+	for _, b := range al.Budgets {
+		if b.Expires != "" && b.Expires < day {
+			b.expired = true
+			budgets = append(budgets, b)
+		}
+	}
+	sort.Slice(budgets, func(i, j int) bool { return budgets[i].Line < budgets[j].Line })
+	return entries, budgets
+}
+
+// ActiveBudgets returns the non-expired budgets keyed by root, for
+// handing to the hotcost analyzer.
+func (al *Allowlist) ActiveBudgets() map[string]*BudgetEntry {
+	if al == nil {
+		return nil
+	}
+	out := map[string]*BudgetEntry{}
+	for root, b := range al.Budgets {
+		if !b.expired {
+			out[root] = b
+		}
+	}
+	return out
+}
+
 // Allowed reports whether f is grandfathered, marking the matching entry
-// as used.
+// as used. Expired entries never match.
 func (al *Allowlist) Allowed(f Finding) bool {
 	if al == nil {
 		return false
 	}
 	for _, e := range al.Entries {
+		if e.expired {
+			continue
+		}
 		if e.Analyzer != "*" && e.Analyzer != f.Analyzer {
 			continue
 		}
@@ -94,17 +207,36 @@ func (al *Allowlist) Allowed(f Finding) bool {
 	return false
 }
 
-// Unused returns the entries that matched nothing — stale grandfathering
-// the ratchet should shed.
+// Unused returns the live (non-expired) entries that matched nothing —
+// stale grandfathering the ratchet should shed. Unconsulted budgets are
+// stale the same way: their root vanished or hotcost did not run them.
 func (al *Allowlist) Unused() []*AllowEntry {
 	if al == nil {
 		return nil
 	}
 	var out []*AllowEntry
 	for _, e := range al.Entries {
-		if !e.used {
+		if !e.used && !e.expired {
 			out = append(out, e)
 		}
 	}
 	return out
 }
+
+// UnusedBudgets returns live budgets the hotcost run never consulted.
+func (al *Allowlist) UnusedBudgets() []*BudgetEntry {
+	if al == nil {
+		return nil
+	}
+	var out []*BudgetEntry
+	for _, b := range al.Budgets {
+		if !b.used && !b.expired {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// MarkUsed records that a budget was consulted by an analyzer run.
+func (b *BudgetEntry) MarkUsed() { b.used = true }

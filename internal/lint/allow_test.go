@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllowlistExpires pins the expires= grammar and the expiry edges:
+// an entry is live through its expiry date and fails the gate the day
+// after; expired entries stop matching findings and leave Unused.
+func TestAllowlistExpires(t *testing.T) {
+	al, err := parseAllowlist("t.allow", `
+floateq a.go expires=2026-08-07   # grandfathered until the refit lands
+seededrand b.go                   # no deadline
+hotcost-budget sim.RunMPPT 12 expires=2026-08-07  # budget with deadline
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := al.Entries[0]; e.Expires != "2026-08-07" {
+		t.Fatalf("Expires = %q", e.Expires)
+	}
+	if b := al.Budgets["sim.RunMPPT"]; b == nil || b.Max != 12 || b.Expires != "2026-08-07" {
+		t.Fatalf("budget = %+v", al.Budgets["sim.RunMPPT"])
+	}
+
+	day := func(s string) time.Time {
+		d, err := time.Parse("2006-01-02", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	f := Finding{File: "a.go", Analyzer: "floateq", Message: "x"}
+
+	// On the expiry date itself the entry is still live.
+	entries, budgets := al.MarkExpired(day("2026-08-07"))
+	if len(entries) != 0 || len(budgets) != 0 {
+		t.Fatalf("expired on the boundary day: %v %v", entries, budgets)
+	}
+	if !al.Allowed(f) {
+		t.Error("entry should match on its expiry date")
+	}
+	if ab := al.ActiveBudgets(); ab["sim.RunMPPT"] == nil {
+		t.Error("budget should be active on its expiry date")
+	}
+
+	// The day after, both expire: they stop matching and are reported.
+	al2, _ := parseAllowlist("t.allow", `
+floateq a.go expires=2026-08-07
+hotcost-budget sim.RunMPPT 12 expires=2026-08-07
+`)
+	entries, budgets = al2.MarkExpired(day("2026-08-08"))
+	if len(entries) != 1 || entries[0].Expires != "2026-08-07" {
+		t.Fatalf("expired entries = %v", entries)
+	}
+	if len(budgets) != 1 || budgets[0].Root != "sim.RunMPPT" {
+		t.Fatalf("expired budgets = %v", budgets)
+	}
+	if al2.Allowed(f) {
+		t.Error("expired entry must not match")
+	}
+	if ab := al2.ActiveBudgets(); len(ab) != 0 {
+		t.Errorf("ActiveBudgets after expiry = %v", ab)
+	}
+	// Expired entries are their own gate failure, not also "stale".
+	if u := al2.Unused(); len(u) != 0 {
+		t.Errorf("expired entries leaked into Unused: %v", u)
+	}
+	if u := al2.UnusedBudgets(); len(u) != 0 {
+		t.Errorf("expired budgets leaked into UnusedBudgets: %v", u)
+	}
+}
+
+// TestAllowlistExpiresParseErrors pins rejection of malformed tokens.
+func TestAllowlistExpiresParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"floateq a.go expires=tomorrow\n", "bad expires date"},
+		{"floateq a.go expires=2026-8-7\n", "bad expires date"},
+		{"floateq a.go expires=2026-02-30\n", "not a calendar date"},
+		{"floateq a.go expires=2026-01-01 expires=2026-01-02\n", "duplicate expires="},
+		{"hotcost-budget r -3\n", "not a non-negative integer"},
+		{"hotcost-budget r twelve\n", "not a non-negative integer"},
+		{"hotcost-budget r\n", "needs"},
+		{"hotcost-budget r 1 extra\n", "needs"},
+		{"hotcost-budget r 1\nhotcost-budget r 2\n", "duplicate hotcost-budget"},
+	}
+	for _, c := range cases {
+		_, err := parseAllowlist("t.allow", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parseAllowlist(%q) error = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestBudgetStaleness pins the used/stale budget ratchet.
+func TestBudgetStaleness(t *testing.T) {
+	al, err := parseAllowlist("t.allow", `
+hotcost-budget used.Root 3
+hotcost-budget stale.Root 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al.MarkExpired(time.Now())
+	al.ActiveBudgets()["used.Root"].MarkUsed()
+	u := al.UnusedBudgets()
+	if len(u) != 1 || u[0].Root != "stale.Root" {
+		t.Fatalf("UnusedBudgets = %v, want just stale.Root", u)
+	}
+}

@@ -51,3 +51,17 @@ func LoadModuleCached(root string) (*Module, error) {
 // ModuleLoads returns how many full (uncached) module loads have run in
 // this process.
 func ModuleLoads() int64 { return moduleLoads.Load() }
+
+// InvalidateModuleCache drops the cached module for root, forcing the
+// next LoadModuleCached to re-parse from disk. `solarvet -fix` calls it
+// after rewriting sources — the cached *Module still describes the
+// pre-fix tree.
+func InvalidateModuleCache(root string) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return
+	}
+	moduleCacheMu.Lock()
+	delete(moduleCache, abs)
+	moduleCacheMu.Unlock()
+}

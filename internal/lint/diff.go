@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnifiedDiff renders a unified diff (three lines of context) between
+// a and b, labelled a/<path> and b/<path> like git. It returns "" when
+// the inputs are byte-identical. The implementation is a plain
+// longest-common-subsequence table — solarvet diffs single source
+// files, where quadratic is cheap and zero dependencies is the point.
+func UnifiedDiff(path string, a, b []byte) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	al, bl := diffLines(a), diffLines(b)
+	ops := diffOps(al, bl)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", path, path)
+	const ctx = 3
+	for i := 0; i < len(ops); {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		// Expand a hunk around ops[i..j): all changes separated by at most
+		// 2*ctx equal lines.
+		start := i
+		end := i + 1
+		for end < len(ops) {
+			if ops[end].kind != opEqual {
+				end++
+				continue
+			}
+			run := 0
+			k := end
+			for k < len(ops) && ops[k].kind == opEqual {
+				run++
+				k++
+			}
+			if k < len(ops) && run <= 2*ctx {
+				end = k
+				continue
+			}
+			break
+		}
+		// Leading and trailing context.
+		lead := start
+		for lead > 0 && start-lead < ctx && ops[lead-1].kind == opEqual {
+			lead--
+		}
+		trail := end
+		for trail < len(ops) && trail-end < ctx && ops[trail].kind == opEqual {
+			trail++
+		}
+		aStart, bStart := ops[lead].aLine, ops[lead].bLine
+		var aCount, bCount int
+		var body strings.Builder
+		for _, op := range ops[lead:trail] {
+			switch op.kind {
+			case opEqual:
+				body.WriteString(" " + op.text + "\n")
+				aCount++
+				bCount++
+			case opDelete:
+				body.WriteString("-" + op.text + "\n")
+				aCount++
+			case opInsert:
+				body.WriteString("+" + op.text + "\n")
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%s +%s @@\n", hunkRange(aStart, aCount), hunkRange(bStart, bCount))
+		sb.WriteString(body.String())
+		i = trail
+	}
+	return sb.String()
+}
+
+// hunkRange renders one side of a @@ header (1-based; "start,count",
+// count elided when 1, start is the line before when count is 0).
+func hunkRange(start, count int) string {
+	if count == 1 {
+		return fmt.Sprintf("%d", start+1)
+	}
+	if count == 0 {
+		return fmt.Sprintf("%d,0", start)
+	}
+	return fmt.Sprintf("%d,%d", start+1, count)
+}
+
+type opKind int
+
+const (
+	opEqual opKind = iota
+	opDelete
+	opInsert
+)
+
+// diffOp is one line of the edit script, remembering the 0-based line
+// each side had reached before the op.
+type diffOp struct {
+	kind         opKind
+	text         string
+	aLine, bLine int
+}
+
+// diffLines splits content into lines without trailing newlines; a
+// missing final newline folds into the last line (good enough for
+// gofmt-formatted Go sources, which always end in one).
+func diffLines(data []byte) []string {
+	s := string(data)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// diffOps computes an LCS-based line edit script from a to b.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = length of LCS of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opEqual, a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDelete, a[i], i, j})
+			i++
+		default:
+			ops = append(ops, diffOp{opInsert, b[j], i, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDelete, a[i], i, j})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opInsert, b[j], i, j})
+	}
+	return ops
+}

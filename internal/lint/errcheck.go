@@ -26,11 +26,21 @@ var AnalyzerErrCheck = &Analyzer{
 }
 
 func runErrCheck(p *Pass) {
-	check := func(call *ast.CallExpr) {
+	check := func(call *ast.CallExpr, stmt *ast.ExprStmt) {
 		if call == nil || !returnsError(p.Info, call) || errcheckExempt(p.Info, call) {
 			return
 		}
-		p.Reportf(call.Pos(), "unchecked error returned by %s; handle it or discard explicitly with `_ =`",
+		// The `_ =` rewrite is unambiguous only for a bare statement whose
+		// call returns exactly the error (a multi-result call needs as many
+		// blanks as results, and go/defer statements cannot be assigned).
+		var fix *Fix
+		if stmt != nil && singleErrorResult(p.Info, call) {
+			fix = &Fix{
+				Message: "discard the error explicitly with `_ =`",
+				Edits:   []TextEdit{{Pos: stmt.Pos(), End: stmt.Pos(), New: "_ = "}},
+			}
+		}
+		p.ReportFix(call.Pos(), fix, "unchecked error returned by %s; handle it or discard explicitly with `_ =`",
 			calleeLabel(p.Info, call))
 	}
 	for _, file := range p.Files {
@@ -38,15 +48,25 @@ func runErrCheck(p *Pass) {
 			switch s := n.(type) {
 			case *ast.ExprStmt:
 				call, _ := ast.Unparen(s.X).(*ast.CallExpr)
-				check(call)
+				check(call, s)
 			case *ast.GoStmt:
-				check(s.Call)
+				check(s.Call, nil)
 			case *ast.DeferStmt:
-				check(s.Call)
+				check(s.Call, nil)
 			}
 			return true
 		})
 	}
+}
+
+// singleErrorResult reports whether the call returns exactly one value,
+// of type error.
+func singleErrorResult(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Results().Len() == 1 && types.Identical(sig.Results().At(0).Type(), errorType)
 }
 
 // returnsError reports whether any result of the call has type error.

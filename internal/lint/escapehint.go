@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerEscapeHint flags escape-prone shapes in the numerically hot
+// packages (pv, dc, mppt, mcore — the code under the per-tick loops):
+//
+//   - a function literal inside a loop allocates a closure per
+//     iteration; hoisting it before the loop allocates once
+//     (immediately-invoked literals are exempt — they do not outlive
+//     the statement and typically stay on the stack);
+//   - taking the address of a per-iteration loop variable forces it to
+//     escape each iteration; copy the value or index the source slice;
+//   - a value receiver of 64 bytes or more is copied on every method
+//     call; hot-path methods should take a pointer receiver.
+//
+// The rules are hints about allocation shape, not semantics — Go 1.22
+// per-iteration loop variables make &loopVar *correct*, just not free.
+// They apply only to the hot packages so the rest of the tree can
+// prefer clarity.
+var AnalyzerEscapeHint = &Analyzer{
+	Name: "escapehint",
+	Doc: "hot packages (pv, dc, mppt, mcore) avoid per-iteration closure " +
+		"allocation, addresses of loop variables, and large value receivers",
+	Applies: func(pkgPath string) bool {
+		switch pkgPath {
+		case "solarcore/internal/pv", "solarcore/internal/dc",
+			"solarcore/internal/mppt", "solarcore/internal/mcore":
+			return true
+		}
+		return false
+	},
+	Run: runEscapeHint,
+}
+
+// escapeReceiverLimit is the value-receiver size (bytes, gc/amd64
+// layout) from which escapehint recommends a pointer receiver.
+const escapeReceiverLimit = 64
+
+func runEscapeHint(p *Pass) {
+	sizes := types.SizesFor("gc", "amd64")
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			rt := p.Info.TypeOf(fd.Recv.List[0].Type)
+			if rt == nil {
+				continue
+			}
+			if _, isPtr := rt.(*types.Pointer); isPtr {
+				continue
+			}
+			if sz := sizes.Sizeof(rt); sz >= escapeReceiverLimit {
+				p.Reportf(fd.Recv.List[0].Pos(), "method %s copies its %d-byte value receiver on every call in a hot package; use a pointer receiver",
+					fd.Name.Name, sz)
+			}
+		}
+		escapeLoops(p, file)
+	}
+}
+
+// escapeLoops walks one file tracking enclosing loops and their
+// per-iteration variables, reporting closure allocations and loop-var
+// addresses inside loops.
+func escapeLoops(p *Pass, file *ast.File) {
+	var stack []map[types.Object]bool // one frame of loop vars per enclosing loop
+	isLoopVar := func(obj types.Object) bool {
+		for _, frame := range stack {
+			if frame[obj] {
+				return true
+			}
+		}
+		return false
+	}
+	define := func(vars map[types.Object]bool, e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	var walk func(n ast.Node)
+	walkChildren := func(n ast.Node) {
+		for _, c := range childNodes(n) {
+			walk(c)
+		}
+	}
+	walk = func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			vars := map[types.Object]bool{}
+			if init, ok := x.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					define(vars, lhs)
+				}
+			}
+			stack = append(stack, vars)
+			walkChildren(x)
+			stack = stack[:len(stack)-1]
+			return
+		case *ast.RangeStmt:
+			vars := map[types.Object]bool{}
+			if x.Tok == token.DEFINE {
+				if x.Key != nil {
+					define(vars, x.Key)
+				}
+				if x.Value != nil {
+					define(vars, x.Value)
+				}
+			}
+			stack = append(stack, vars)
+			walkChildren(x)
+			stack = stack[:len(stack)-1]
+			return
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+				// Immediately invoked: no closure outlives the statement.
+				for _, arg := range x.Args {
+					walk(arg)
+				}
+				walk(lit.Body)
+				return
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil && isLoopVar(obj) {
+						p.Reportf(x.Pos(), "&%s takes the address of a per-iteration loop variable, forcing a heap escape each iteration; copy the value or index the source slice",
+							id.Name)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if len(stack) > 0 {
+				p.Reportf(x.Pos(), "function literal inside a loop allocates a closure every iteration; hoist it before the loop")
+			}
+		}
+		walkChildren(n)
+	}
+	walk(file)
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// TextEdit replaces the half-open source byte range [Pos, End) with
+// New. Positions come from the parse that produced the finding, so a
+// fix must be applied before the tree is re-parsed.
+type TextEdit struct {
+	Pos, End token.Pos
+	New      string
+}
+
+// Fix is one machine-applicable rewrite attached to a finding. A fix
+// must be self-contained (all edits in the finding's file), must leave
+// the file gofmt-clean, and must resolve the finding it is attached to
+// — applying all fixes and re-running the analyzers is the idempotency
+// contract `solarvet -fix` tests rely on.
+type Fix struct {
+	// Message is a short imperative description of the rewrite, e.g.
+	// "assign the discarded error to _".
+	Message string
+	Edits   []TextEdit
+}
+
+// FileFix is the planned outcome for one file: the original bytes, the
+// spliced-and-formatted result, and which findings' fixes made it in.
+type FileFix struct {
+	Path string // absolute file path
+	Orig []byte
+	New  []byte
+	// Applied lists the findings whose fixes were spliced in, in
+	// position order.
+	Applied []Finding
+	// Conflicts lists findings whose fixes were skipped because an edit
+	// overlapped an already-accepted one; re-running solarvet -fix after
+	// the first batch lands applies them (or shows they are gone).
+	Conflicts []Finding
+}
+
+// offEdit is a TextEdit resolved to byte offsets.
+type offEdit struct {
+	start, end int
+	new        string
+}
+
+// PlanFixes groups the fixable findings by file, resolves conflicts,
+// splices the surviving edits and formats the result. Nothing is
+// written: the caller decides between printing a diff and calling
+// (*FileFix).Apply. Findings without fixes are ignored. Fixes are
+// considered in finding order (SortFindings order); when two fixes
+// touch overlapping byte ranges the earlier finding wins and the later
+// one is recorded under Conflicts.
+func PlanFixes(fset *token.FileSet, findings []Finding) ([]*FileFix, error) {
+	byFile := map[string][]Finding{}
+	var paths []string
+	for _, f := range findings {
+		if f.Fix == nil || len(f.Fix.Edits) == 0 {
+			continue
+		}
+		path := f.Pos.Filename
+		if path == "" {
+			return nil, fmt.Errorf("lint: fix for %q has no file position", f.Message)
+		}
+		if _, ok := byFile[path]; !ok {
+			paths = append(paths, path)
+		}
+		byFile[path] = append(byFile[path], f)
+	}
+	sort.Strings(paths)
+
+	var out []*FileFix
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		ff := &FileFix{Path: path, Orig: src}
+		var accepted []offEdit
+		for _, f := range byFile[path] {
+			edits, err := resolveEdits(fset, path, len(src), f)
+			if err != nil {
+				return nil, err
+			}
+			if overlapsAny(edits, accepted) {
+				ff.Conflicts = append(ff.Conflicts, f)
+				continue
+			}
+			accepted = append(accepted, edits...)
+			ff.Applied = append(ff.Applied, f)
+		}
+		if len(ff.Applied) == 0 {
+			// Every fix conflicted itself away; still surface the file so
+			// the driver can report the skips.
+			ff.New = src
+			out = append(out, ff)
+			continue
+		}
+		spliced := splice(src, accepted)
+		formatted, err := format.Source(spliced)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixes for %s produce unformattable code (analyzer bug): %w", path, err)
+		}
+		ff.New = formatted
+		out = append(out, ff)
+	}
+	return out, nil
+}
+
+// resolveEdits converts one fix's edits to validated byte offsets in
+// the finding's file.
+func resolveEdits(fset *token.FileSet, path string, size int, f Finding) ([]offEdit, error) {
+	edits := make([]offEdit, 0, len(f.Fix.Edits))
+	for _, e := range f.Fix.Edits {
+		if !e.Pos.IsValid() || !e.End.IsValid() {
+			return nil, fmt.Errorf("lint: fix %q at %s has an invalid edit position", f.Fix.Message, f.Pos)
+		}
+		p, q := fset.Position(e.Pos), fset.Position(e.End)
+		if p.Filename != path || q.Filename != path {
+			return nil, fmt.Errorf("lint: fix %q at %s edits a different file than its finding", f.Fix.Message, f.Pos)
+		}
+		if p.Offset > q.Offset || q.Offset > size {
+			return nil, fmt.Errorf("lint: fix %q at %s has an out-of-range edit", f.Fix.Message, f.Pos)
+		}
+		edits = append(edits, offEdit{start: p.Offset, end: q.Offset, new: e.New})
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+	for i := 1; i < len(edits); i++ {
+		if editsOverlap(edits[i-1], edits[i]) {
+			return nil, fmt.Errorf("lint: fix %q at %s overlaps itself (analyzer bug)", f.Fix.Message, f.Pos)
+		}
+	}
+	return edits, nil
+}
+
+// editsOverlap reports whether two offset edits intersect. Touching
+// ranges are fine except when both are pure insertions at the same
+// point (their order would be ambiguous).
+func editsOverlap(a, b offEdit) bool {
+	if a.start == b.start && a.end == a.start && b.end == b.start {
+		return true
+	}
+	return a.start < b.end && b.start < a.end
+}
+
+// overlapsAny reports whether any edit in edits intersects any in
+// accepted.
+func overlapsAny(edits, accepted []offEdit) bool {
+	for _, e := range edits {
+		for _, a := range accepted {
+			if editsOverlap(e, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// splice applies non-overlapping offset edits to src.
+func splice(src []byte, edits []offEdit) []byte {
+	sorted := append([]offEdit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].start < sorted[j].start })
+	var out []byte
+	prev := 0
+	for _, e := range sorted {
+		out = append(out, src[prev:e.start]...)
+		out = append(out, e.new...)
+		prev = e.end
+	}
+	out = append(out, src[prev:]...)
+	return out
+}
+
+// Changed reports whether applying the plan would alter the file.
+func (ff *FileFix) Changed() bool { return string(ff.Orig) != string(ff.New) }
+
+// Apply writes the fixed content back, preserving the file's mode.
+func (ff *FileFix) Apply() error {
+	info, err := os.Stat(ff.Path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(ff.Path, ff.New, info.Mode().Perm())
+}

@@ -30,8 +30,8 @@ func TestFixtures(t *testing.T) {
 	imp := importer.ForCompiler(fset, "source", nil)
 	covered := map[string]bool{}
 	for _, e := range entries {
-		if !e.IsDir() {
-			continue
+		if !e.IsDir() || strings.HasPrefix(e.Name(), "_") {
+			continue // _dirs are shared fixtures for non-analyzer tests
 		}
 		name := e.Name()
 		anName, _, _ := strings.Cut(name, "_")
@@ -43,6 +43,27 @@ func TestFixtures(t *testing.T) {
 		covered[anName] = true
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", name)
+			if an.RunModule != nil {
+				// Module-level analyzers get a whole fixture module (its
+				// own go.mod): roots and budgets come from //solarvet:
+				// directives inside the fixture.
+				mod, err := LoadModule(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var files []*ast.File
+				for _, pkg := range mod.Pkgs {
+					for _, err := range pkg.TypeErrors {
+						t.Errorf("fixture does not type-check: %v", err)
+					}
+					files = append(files, pkg.Files...)
+				}
+				if t.Failed() {
+					return
+				}
+				checkWants(t, mod.Fset, files, RunModuleAnalyzers([]*Analyzer{an}, mod, nil))
+				return
+			}
 			files, err := ParseDir(fset, dir)
 			if err != nil {
 				t.Fatal(err)

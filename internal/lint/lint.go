@@ -30,6 +30,11 @@ type Finding struct {
 	Col      int            `json:"col"`
 	Analyzer string         `json:"analyzer"`
 	Message  string         `json:"message"`
+	// Fix is an optional machine-applicable rewrite resolving the
+	// finding (see fix.go); it stays off the JSON wire — the report
+	// schema carries fix *counts*, the edits themselves are positions
+	// into a specific parse and die with the process.
+	Fix *Fix `json:"-"`
 }
 
 // String renders the canonical `file:line:col: [analyzer] message` form.
@@ -60,6 +65,40 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a finding at pos carrying a suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
+	})
+}
+
+// ModulePass hands the whole loaded module — with its call graph — to
+// one inter-procedural analyzer.
+type ModulePass struct {
+	Fset   *token.FileSet
+	Module *Module
+	// Graph is the module call graph (see callgraph.go), shared by all
+	// module-level analyzers of one run.
+	Graph *CallGraph
+	// Budgets are the hotcost cost budgets parsed from the allowlist,
+	// keyed by root name; nil without an allowlist. Analyzers mark the
+	// entries they consult used, feeding the staleness ratchet.
+	Budgets map[string]*BudgetEntry
+
+	report func(Finding)
+}
+
+// Reportf records a module-level finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	p.report(Finding{
 		Pos:     position,
@@ -70,14 +109,41 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named rule over a type-checked package.
+// Directive returns every `//solarvet:<name> <value>` comment across
+// the module's files, in file order. Fixture packages use directives to
+// declare entry-point roots and budgets that the real tree wires up in
+// analyzer defaults and the allowlist.
+func (p *ModulePass) Directive(name string) []string {
+	var out []string
+	prefix := "//solarvet:" + name + " "
+	for _, pkg := range p.Module.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if rest, ok := strings.CutPrefix(c.Text, prefix); ok {
+						out = append(out, strings.TrimSpace(rest))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Analyzer is one named rule over a type-checked package (Run) or over
+// the whole module and its call graph (RunModule). Exactly one of the
+// two is set.
 type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph rule statement shown by `solarvet -rules`.
 	Doc string
 	// Applies filters packages by import path; nil means every package.
+	// Module-level analyzers ignore it.
 	Applies func(pkgPath string) bool
 	Run     func(*Pass)
+	// RunModule marks an inter-procedural analyzer: it runs once per
+	// lint.Run over the loaded module, after the per-package fan-out.
+	RunModule func(*ModulePass)
 }
 
 // Registry returns the full analyzer suite in stable order.
@@ -93,6 +159,9 @@ func Registry() []*Analyzer {
 		AnalyzerLockCheck,
 		AnalyzerSpawnCheck,
 		AnalyzerMetricName,
+		AnalyzerDetCheck,
+		AnalyzerHotCost,
+		AnalyzerEscapeHint,
 	}
 }
 
@@ -113,6 +182,9 @@ func ByName(name string) *Analyzer {
 func RunAnalyzers(analyzers []*Analyzer, pkg *Package, fset *token.FileSet, dep func(path string) *Package) []Finding {
 	var out []Finding
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // module-level analyzers run via RunModuleAnalyzers
+		}
 		if a.Applies != nil && !a.Applies(pkg.Path) {
 			continue
 		}
@@ -130,6 +202,32 @@ func RunAnalyzers(analyzers []*Analyzer, pkg *Package, fset *token.FileSet, dep 
 			out = append(out, f)
 		}
 		a.Run(pass)
+	}
+	SortFindings(out)
+	return out
+}
+
+// RunModuleAnalyzers applies the module-level (inter-procedural)
+// analyzers to mod, sharing one call graph, and returns the findings
+// sorted by position. budgets carries the allowlist's hotcost budget
+// entries; it may be nil.
+func RunModuleAnalyzers(analyzers []*Analyzer, mod *Module, budgets map[string]*BudgetEntry) []Finding {
+	var out []Finding
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = mod.CallGraph()
+		}
+		pass := &ModulePass{Fset: mod.Fset, Module: mod, Graph: graph, Budgets: budgets}
+		name := a.Name
+		pass.report = func(f Finding) {
+			f.Analyzer = name
+			out = append(out, f)
+		}
+		a.RunModule(pass)
 	}
 	SortFindings(out)
 	return out

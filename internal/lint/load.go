@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module.
@@ -35,6 +36,17 @@ type Module struct {
 	Fset *token.FileSet
 	// Pkgs is sorted by import path.
 	Pkgs []*Package
+
+	cgOnce sync.Once
+	cg     *CallGraph
+}
+
+// CallGraph returns the module's call graph, built on first use and
+// shared by every subsequent caller (a loaded module is immutable, so
+// the graph is too).
+func (m *Module) CallGraph() *CallGraph {
+	m.cgOnce.Do(func() { m.cg = BuildCallGraph(m) })
+	return m.cg
 }
 
 // Dep returns the loaded package with the given import path, or nil —

@@ -7,6 +7,7 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
+	"strconv"
 	"strings"
 )
 
@@ -99,7 +100,7 @@ func registryCall(p *Pass, call *ast.CallExpr) (metricUse, bool) {
 	}
 	// The suffix is checkable when the whole name resolved or a { label
 	// delimiter bounds the base; a bare dynamic tail leaves it unknown.
-	checkMetricName(p, kind, base, exact || hadLabel, call.Args[0].Pos())
+	checkMetricName(p, kind, base, exact || hadLabel, call.Args[0])
 	return metricUse{kind: kind, base: base, pos: call.Pos()}, true
 }
 
@@ -129,8 +130,12 @@ func staticNamePrefix(info *types.Info, arg ast.Expr) (name string, exact, ok bo
 
 // checkMetricName validates one resolved name: snake_case always, the
 // _total suffix convention per kind only when suffixKnown (a dynamic
-// name tail makes the suffix unknowable).
-func checkMetricName(p *Pass, kind, base string, suffixKnown bool, pos token.Pos) {
+// name tail makes the suffix unknowable). Suffix violations on a plain
+// string literal carry a rename fix — a literal names exactly one
+// metric, so appending or stripping _total is mechanical; names built
+// from constants or concatenation may be shared and need a human.
+func checkMetricName(p *Pass, kind, base string, suffixKnown bool, arg ast.Expr) {
+	pos := arg.Pos()
 	if !isSnakeCase(base) {
 		p.Reportf(pos, "metric name %q is not snake_case ([a-z0-9_], starting with a letter)", base)
 		return
@@ -141,12 +146,27 @@ func checkMetricName(p *Pass, kind, base string, suffixKnown bool, pos token.Pos
 	switch kind {
 	case "counter":
 		if !strings.HasSuffix(base, "_total") {
-			p.Reportf(pos, "counter %q must end in _total (obs naming contract)", base)
+			p.ReportFix(pos, literalRenameFix(arg, base+"_total"),
+				"counter %q must end in _total (obs naming contract)", base)
 		}
 	case "gauge", "histogram":
 		if strings.HasSuffix(base, "_total") {
-			p.Reportf(pos, "%s %q must not end in _total — that suffix marks monotonic counters", kind, base)
+			p.ReportFix(pos, literalRenameFix(arg, strings.TrimSuffix(base, "_total")),
+				"%s %q must not end in _total — that suffix marks monotonic counters", kind, base)
 		}
+	}
+}
+
+// literalRenameFix rewrites a plain string-literal metric name to
+// newName; nil when the argument is anything but a basic literal.
+func literalRenameFix(arg ast.Expr, newName string) *Fix {
+	lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || newName == "" {
+		return nil
+	}
+	return &Fix{
+		Message: "rename the metric to " + strconv.Quote(newName),
+		Edits:   []TextEdit{{Pos: lit.Pos(), End: lit.End(), New: strconv.Quote(newName)}},
 	}
 }
 

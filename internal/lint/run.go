@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // AllowlistName is the checked-in allowlist file at the module root.
@@ -21,6 +22,11 @@ type Options struct {
 	Allow string
 	// Analyzers defaults to Registry().
 	Analyzers []*Analyzer
+	// Today anchors allowlist expiry (`expires=YYYY-MM-DD` tokens). The
+	// zero value skips expiry evaluation entirely — the engine itself
+	// never reads the wall clock (the repo's own seededrand rule);
+	// cmd/solarvet and the lint gate pass time.Now().
+	Today time.Time
 }
 
 // Result is one solarvet run over the module.
@@ -31,8 +37,17 @@ type Result struct {
 	Findings []Finding
 	// Suppressed counts allowlisted findings.
 	Suppressed int
+	// SuppressedBy breaks Suppressed down per analyzer name.
+	SuppressedBy map[string]int
 	// UnusedAllows are stale allowlist entries (they matched nothing).
 	UnusedAllows []*AllowEntry
+	// UnusedBudgets are live hotcost budgets no analyzer consulted —
+	// their root vanished or hotcost was not selected.
+	UnusedBudgets []*BudgetEntry
+	// ExpiredAllows and ExpiredBudgets passed their expires= date; like
+	// stale entries, they fail the gate until removed or re-justified.
+	ExpiredAllows  []*AllowEntry
+	ExpiredBudgets []*BudgetEntry
 	// AllowSource is the allowlist file the run used ("" if none).
 	AllowSource string
 	// LoadErrors are type-check problems; analyzers still ran on partial
@@ -74,13 +89,15 @@ func Run(opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-
 	analyzers := opts.Analyzers
 	if analyzers == nil {
 		analyzers = Registry()
 	}
 
-	res := &Result{Module: mod, AllowSource: allowPath}
+	res := &Result{Module: mod, AllowSource: allowPath, SuppressedBy: map[string]int{}}
+	if !opts.Today.IsZero() {
+		res.ExpiredAllows, res.ExpiredBudgets = allow.MarkExpired(opts.Today)
+	}
 	for _, pkg := range mod.Pkgs {
 		for _, e := range pkg.TypeErrors {
 			res.LoadErrors = append(res.LoadErrors, fmt.Errorf("%s: %w", pkg.Path, e))
@@ -102,18 +119,28 @@ func Run(opts Options) (*Result, error) {
 		}(i, pkg)
 	}
 	wg.Wait()
-	for _, findings := range perPkg {
+	// Module-level (inter-procedural) analyzers run after the fan-out:
+	// they see the whole module plus its call graph, and consume the
+	// allowlist's hotcost budgets.
+	moduleFindings := RunModuleAnalyzers(analyzers, mod, allow.ActiveBudgets())
+	filter := func(findings []Finding) {
 		for _, f := range findings {
 			f.File = relPath(mod.Root, f.File)
 			if allow.Allowed(f) {
 				res.Suppressed++
+				res.SuppressedBy[f.Analyzer]++
 				continue
 			}
 			res.Findings = append(res.Findings, f)
 		}
 	}
+	for _, findings := range perPkg {
+		filter(findings)
+	}
+	filter(moduleFindings)
 	SortFindings(res.Findings)
 	res.UnusedAllows = allow.Unused()
+	res.UnusedBudgets = allow.UnusedBudgets()
 	return res, nil
 }
 

@@ -1,0 +1,44 @@
+// Package det exercises the detcheck analyzer: nondeterminism sources
+// reachable from the declared root are findings, unreachable ones stay
+// silent, and function-value indirection is followed conservatively.
+//
+//solarvet:detroot Entry
+package det
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Entry is the fixture's determinism root (see the detroot directive).
+func Entry() float64 {
+	m := map[string]int{"a": 1, "b": 2}
+	sum := 0
+	for k := range m { // want "map iteration order is nondeterministic"
+		sum += m[k]
+	}
+	return helper() + viaValue() + float64(sum)
+}
+
+func helper() float64 {
+	t := time.Now()                               // want "wall-clock read \(time.Now\) is reachable from"
+	if _, ok := os.LookupEnv("DET_FIXTURE"); ok { // want "environment read"
+		return 0
+	}
+	return rand.Float64() + float64(t.Nanosecond()) // want "global math/rand draw"
+}
+
+// clock stores time.Now as a value, so the call below resolves only
+// through the dynamic (signature-matching) edge.
+var clock = time.Now
+
+func viaValue() float64 {
+	return float64(clock().Nanosecond()) // want "wall-clock read \(time.Now\) via a function value"
+}
+
+// Unreached reads the wall clock but is not reachable from Entry, so
+// detcheck stays silent here.
+func Unreached() time.Time {
+	return time.Now()
+}

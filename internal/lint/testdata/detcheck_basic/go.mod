@@ -1,0 +1,3 @@
+module det.example
+
+go 1.22

@@ -1,0 +1,50 @@
+// Package esc exercises the escapehint analyzer inside a hot package
+// (the pkgpath directive places it in internal/pv's scope).
+//
+//solarvet:pkgpath solarcore/internal/pv
+package esc
+
+// Big is exactly 64 bytes under the gc/amd64 layout.
+type Big struct {
+	A, B, C, D, E, F, G, H float64
+}
+
+// Sum copies all 64 bytes per call.
+func (b Big) Sum() float64 { // want "copies its 64-byte value receiver"
+	return b.A + b.B + b.C + b.D + b.E + b.F + b.G + b.H
+}
+
+// Scale takes a pointer receiver: fine.
+func (b *Big) Scale(k float64) {
+	b.A *= k
+}
+
+// Small has a value receiver under the limit: fine.
+type Small struct{ X float64 }
+
+func (s Small) Get() float64 { return s.X }
+
+func Work(xs []float64) []func() float64 {
+	var fs []func() float64
+	var ptrs []*float64
+	for _, x := range xs {
+		ptrs = append(ptrs, &x)                      // want "&x takes the address of a per-iteration loop variable"
+		fs = append(fs, func() float64 { return x }) // want "function literal inside a loop allocates a closure"
+	}
+	for j := 0; j < 3; j++ {
+		func() { _ = j }() // immediately invoked: silent
+	}
+	_ = ptrs
+	return fs
+}
+
+// Hoisted shows the accepted shape: one closure, allocated before the
+// loop.
+func Hoisted(xs []float64) float64 {
+	add := func(a, b float64) float64 { return a + b }
+	total := 0.0
+	for _, x := range xs {
+		total = add(total, x)
+	}
+	return total
+}

@@ -1,0 +1,39 @@
+// Package hot exercises the hotcost analyzer: allocation/boxing sites
+// reachable from a declared root count against the root's budget, and
+// defer-in-loop is a per-site finding.
+//
+//solarvet:costroot Tick
+//solarvet:costroot NoBudget
+//solarvet:costbudget Tick 1
+package hot
+
+// Tick is over its budget of 1: make + append-in-loop + the boxing
+// call into sink all count.
+func Tick() { // want "hot root .*Tick reaches [0-9]+ allocation/boxing sites, over its budget of 1"
+	buf := make([]float64, 0, 4)
+	for i := 0; i < 4; i++ {
+		buf = append(buf, float64(i))
+		defer release(i) // want "defer inside a loop reachable from"
+	}
+	sink(len(buf))
+}
+
+func release(int) {}
+
+// sink's parameter is an interface, so concrete arguments box.
+func sink(v any) { _ = v }
+
+// NoBudget is a root with no costbudget directive, which is its own
+// finding: budgets are mandatory for declared hot roots.
+func NoBudget() []int { // want "hot root .*NoBudget reaches [0-9]+ allocation/boxing sites but has no recorded budget"
+	return make([]int, 1)
+}
+
+// Unreached allocates freely; it is not a root and stays silent.
+func Unreached() []int {
+	out := []int{}
+	for i := 0; i < 8; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -76,7 +76,7 @@ func BigLittleConfig() Config {
 }
 
 // classOf returns the scaling for a core (identity when homogeneous).
-func (c Config) classOf(core int) CoreClass {
+func (c *Config) classOf(core int) CoreClass {
 	if c.Classes == nil {
 		return CoreClass{Perf: 1, Power: 1}
 	}
@@ -114,7 +114,7 @@ func LinearPoints(n int) []OpPoint {
 }
 
 // Validate reports configuration errors.
-func (c Config) Validate() error {
+func (c *Config) Validate() error {
 	if c.Cores < 1 {
 		return fmt.Errorf("mcore: config needs at least 1 core, got %d", c.Cores)
 	}
@@ -152,7 +152,7 @@ func (c Config) Validate() error {
 // point index, mirroring the 6-bit VID channel between the SolarCore
 // controller and the per-core VRMs (Section 4.1). Codes count down from the
 // highest voltage, as in Intel's VRM convention.
-func (c Config) VID(level int) uint8 {
+func (c *Config) VID(level int) uint8 {
 	if level < 0 || level >= len(c.Points) {
 		return 0x3F // "no core / VRM off" sentinel
 	}

@@ -144,7 +144,7 @@ type TrajectoryPoint struct {
 // Solar reports whether the tracking session established productive
 // solar-powered operation: no overload and at least one core running. When
 // false, the ATS should select the utility for this period.
-func (r Result) Solar() bool { return !r.Overload && r.RaisedTo > 0 }
+func (r *Result) Solar() bool { return !r.Overload && r.RaisedTo > 0 }
 
 // operate samples the sensors for the chip's current demand, applying the
 // configured measurement noise — the controller only ever sees what its

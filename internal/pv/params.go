@@ -83,7 +83,7 @@ const noctAmbient = 20.0 // unit: °C
 // irradiance with the standard NOCT model: Tcell = Tamb + (NOCT-20)/800·G.
 //
 // unit: ambientC=°C, irradiance=W/m², return=°C
-func (p ModuleParams) CellTemperature(ambientC, irradiance float64) float64 {
+func (p *ModuleParams) CellTemperature(ambientC, irradiance float64) float64 {
 	return ambientC + (p.NOCT-noctAmbient)/noctIrradiance*irradiance
 }
 
@@ -91,6 +91,6 @@ func (p ModuleParams) CellTemperature(ambientC, irradiance float64) float64 {
 // temperature tC (°C).
 //
 // unit: tC=°C, return=V
-func (p ModuleParams) thermalVoltage(tC float64) float64 {
+func (p *ModuleParams) thermalVoltage(tC float64) float64 {
 	return p.IdealityN * kB * kelvin(tC) / q * float64(p.CellsInSeries)
 }

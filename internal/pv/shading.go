@@ -217,12 +217,16 @@ func (s *ShadedString) LocalMPPs(env Env) []MPP {
 	for i := 0; i <= grid; i++ {
 		p[i] = s.Power(env, voc*float64(i)/grid)
 	}
+	// One closure for every golden-section refinement: allocating it
+	// inside the loop would cost a closure per local maximum
+	// (escapehint), and the objective is iteration-independent.
+	power := func(v float64) float64 { return s.Power(env, v) }
 	var out []MPP
 	for i := 1; i < grid; i++ {
 		if p[i] > p[i-1] && p[i] >= p[i+1] && p[i] > 1e-9 {
 			lo := voc * float64(i-1) / grid
 			hi := voc * float64(i+1) / grid
-			v, pw := mathx.GoldenMax(func(v float64) float64 { return s.Power(env, v) }, lo, hi, voc*1e-6)
+			v, pw := mathx.GoldenMax(power, lo, hi, voc*1e-6)
 			out = append(out, MPP{V: v, I: pw / v, P: pw})
 		}
 	}

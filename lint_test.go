@@ -2,6 +2,7 @@ package solarcore_test
 
 import (
 	"testing"
+	"time"
 
 	"solarcore/internal/lint"
 )
@@ -14,7 +15,7 @@ import (
 // only CI entry point needed; `go run ./cmd/solarvet` reproduces the
 // same report interactively.
 func TestSolarvetClean(t *testing.T) {
-	res, err := lint.Run(lint.Options{})
+	res, err := lint.Run(lint.Options{Today: time.Now()})
 	if err != nil {
 		t.Fatalf("solarvet driver: %v", err)
 	}
@@ -31,6 +32,18 @@ func TestSolarvetClean(t *testing.T) {
 	for _, e := range res.UnusedAllows {
 		t.Errorf("stale allowlist entry %s:%d (%s %s) matched nothing — remove it",
 			res.AllowSource, e.Line, e.Analyzer, e.Path)
+	}
+	for _, e := range res.ExpiredAllows {
+		t.Errorf("expired allowlist entry %s:%d (%s %s, expires=%s) — re-justify or remove it",
+			res.AllowSource, e.Line, e.Analyzer, e.Path, e.Expires)
+	}
+	for _, b := range res.ExpiredBudgets {
+		t.Errorf("expired hotcost budget %s:%d (%s, expires=%s) — re-justify or remove it",
+			res.AllowSource, b.Line, b.Root, b.Expires)
+	}
+	for _, b := range res.UnusedBudgets {
+		t.Errorf("stale hotcost budget %s:%d (%s) names no live hot root — remove it",
+			res.AllowSource, b.Line, b.Root)
 	}
 	if pkgs := len(res.Module.Pkgs); pkgs < 20 {
 		t.Errorf("driver loaded only %d packages — the module walk looks broken", pkgs)

@@ -6,6 +6,10 @@
 #                         8-minute steps) from bench_test.go
 #   served_req_per_sec  — solarload sustained rate on the cached path
 #                         against a real solard on an ephemeral port
+#   uncached_req_per_sec — the same harness with -distinct equal to the
+#                         request count, so every request is a cache
+#                         miss running a full simulation (the fill-path
+#                         rate the hotcost budgets guard)
 #   solarvet_wall_ms    — a full cold solarvet pass (parse + type-check
 #                         + all analyzers over the whole module)
 #
@@ -42,6 +46,15 @@ done
 # "wall         : 1.23 s  (2434 req/s sustained)" -> 2434
 req_s="$(sed -n 's/.*(\([0-9][0-9]*\) req\/s sustained).*/\1/p' "$workdir/load.txt")"
 [ -n "$req_s" ] || { echo 'solarload printed no sustained rate'; cat "$workdir/load.txt"; exit 1; }
+
+# Every request is a distinct spec, so each one runs a full simulation
+# on the bounded worker pool. Concurrency stays within the smallest
+# default pool+queue (GOMAXPROCS ≥ 1 → capacity ≥ 5) so backpressure
+# never sheds: this measures fill throughput, not the 429 path.
+echo '== serve: solarload (uncached fill path)'
+"$workdir/solarload" -url "$url" -n 512 -c 4 -distinct 512 > "$workdir/load-uncached.txt"
+uncached_s="$(sed -n 's/.*(\([0-9][0-9]*\) req\/s sustained).*/\1/p' "$workdir/load-uncached.txt")"
+[ -n "$uncached_s" ] || { echo 'solarload printed no sustained rate'; cat "$workdir/load-uncached.txt"; exit 1; }
 kill -TERM "$solard_pid"
 wait "$solard_pid" || true
 solard_pid=''
@@ -58,6 +71,7 @@ cat > "$out" <<JSON
   "date": "$(date +%Y-%m-%d)",
   "sim_ns_per_day": $sim_ns,
   "served_req_per_sec": $req_s,
+  "uncached_req_per_sec": $uncached_s,
   "solarvet_wall_ms": $vet_ms
 }
 JSON

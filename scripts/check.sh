@@ -2,6 +2,9 @@
 # Pre-commit gate: everything CI runs, in the order it fails fastest.
 #
 #   build          — the whole module must compile
+#   gofmt -l       — every tracked .go file (fixtures included) must be
+#                    gofmt-clean; solarvet -fix promises gofmt-clean
+#                    output, so the tree it rewrites must start clean
 #   go vet         — the stock toolchain checks
 #   go test ./...  — unit, property, golden and paper-gate tests; the
 #                    solarvet lint gate (lint_test.go) runs here too, so
@@ -25,6 +28,14 @@ cd "$(dirname "$0")/.."
 
 echo '== go build ./...'
 go build ./...
+
+echo '== gofmt -l'
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo 'gofmt needed on:'
+    echo "$unformatted"
+    exit 1
+fi
 
 echo '== go vet ./...'
 go vet ./...
