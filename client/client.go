@@ -1,0 +1,196 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"solarcore"
+	"solarcore/internal/obs"
+)
+
+// maxErrorBody bounds how much of a failing response is read into the
+// APIError message.
+const maxErrorBody = 64 << 10
+
+// defaultHTTPClient is shared by every Client built without
+// WithHTTPClient, so connections to the same backend are pooled and
+// reused across Client values (the fleet router builds one Client per
+// backend; they all draw from this pool). No client-level timeout:
+// deadlines come from the caller's context.
+var defaultHTTPClient = newDefaultHTTPClient()
+
+func newDefaultHTTPClient() *http.Client {
+	tr, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		return &http.Client{}
+	}
+	tr = tr.Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 64
+	return &http.Client{Transport: tr}
+}
+
+// Client speaks the v1 wire contract against one solard or solargate
+// base URL. The zero value is not usable; build one with New. Methods
+// are safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transport, client-level timeout, test instrumentation). The default
+// is a shared keep-alive pool with no client-level timeout.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a Client for the given base URL (scheme://host:port,
+// trailing slash tolerated).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: defaultHTTPClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL returns the base URL the Client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// RunResult is one successful /v1/run response: the marshaled DayResult
+// exactly as the server sent it (byte-identical to what the cache
+// replays) plus the disposition headers.
+type RunResult struct {
+	// Body is the marshaled solarcore.DayResult.
+	Body json.RawMessage
+	// Cache is the HeaderCache disposition (obs.CacheHit, CacheMiss,
+	// CacheCoalesced).
+	Cache string
+	// Route is the HeaderRoute disposition (RoutePrimary, RouteHedged,
+	// RouteRetried); empty when the server is a plain solard.
+	Route string
+	// Backend is the HeaderBackend value, when present.
+	Backend string
+}
+
+// Decode unmarshals the body into a DayResult.
+func (r *RunResult) Decode() (*solarcore.DayResult, error) {
+	var res solarcore.DayResult
+	if err := json.Unmarshal(r.Body, &res); err != nil {
+		return nil, fmt.Errorf("client: decode run result: %w", err)
+	}
+	return &res, nil
+}
+
+// Run posts one spec to /v1/run. The request's V field is stamped with
+// WireVersion when zero. A non-2xx response returns a *APIError.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
+	if req.V == 0 {
+		req.V = WireVersion
+	}
+	resp, body, err := c.do(ctx, http.MethodPost, "/v1/run", req)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Body:    body,
+		Cache:   resp.Header.Get(HeaderCache),
+		Route:   resp.Header.Get(HeaderRoute),
+		Backend: resp.Header.Get(HeaderBackend),
+	}, nil
+}
+
+// Sweep posts a batch to /v1/sweep. The batch's V field (and each
+// item's) is stamped with WireVersion when zero. Per-item failures are
+// reported in the response items, not as a call error.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	if req.V == 0 {
+		req.V = WireVersion
+	}
+	_, body, err := c.do(ctx, http.MethodPost, "/v1/sweep", req)
+	if err != nil {
+		return nil, err
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, fmt.Errorf("client: decode sweep response: %w", err)
+	}
+	return &sr, nil
+}
+
+// Policies fetches the Table 6 policy names from /v1/policies.
+func (c *Client) Policies(ctx context.Context) ([]string, error) {
+	_, body, err := c.do(ctx, http.MethodGet, "/v1/policies", nil)
+	if err != nil {
+		return nil, err
+	}
+	var pr PoliciesResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return nil, fmt.Errorf("client: decode policies: %w", err)
+	}
+	return pr.Policies, nil
+}
+
+// Metrics fetches and decodes the /metrics registry snapshot.
+func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
+	_, body, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("client: decode metrics: %w", err)
+	}
+	return snap, nil
+}
+
+// Healthz probes /healthz: nil when the server answers 200, a *APIError
+// (503 + draining/no_backends) or transport error otherwise.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, _, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// do sends one request and reads the full response body. Non-2xx
+// responses are decoded into *APIError through the single envelope
+// decoder.
+func (c *Client) do(ctx context.Context, method, path string, payload any) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("client: marshal request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: build request: %w", err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		return nil, nil, DecodeError(resp.StatusCode, resp.Header, body)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: read response: %w", err)
+	}
+	return resp, body, nil
+}

@@ -1,0 +1,203 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"solarcore"
+	"solarcore/internal/obs"
+)
+
+func TestCheckWireVersion(t *testing.T) {
+	for _, v := range []int{0, WireVersion} {
+		if err := CheckWireVersion(v); err != nil {
+			t.Errorf("CheckWireVersion(%d) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []int{-1, 2, 99} {
+		if err := CheckWireVersion(v); err == nil {
+			t.Errorf("CheckWireVersion(%d) = nil, want error", v)
+		}
+	}
+}
+
+// TestWriteErrorDecodeErrorRoundTrip pins the envelope contract: one
+// writer, one decoder, and the Retry-After header mirrored into
+// retry_after_ms.
+func TestWriteErrorDecodeErrorRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	rec.Header().Set("Retry-After", "2")
+	WriteError(rec, http.StatusTooManyRequests, CodeOverloaded, "over capacity")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	e := DecodeError(rec.Code, rec.Header(), rec.Body.Bytes())
+	if e.Status != http.StatusTooManyRequests || e.Code != CodeOverloaded ||
+		e.Message != "over capacity" || e.RetryAfter != 2*time.Second {
+		t.Errorf("decoded = %+v", e)
+	}
+	if !e.Temporary() {
+		t.Error("429 not Temporary")
+	}
+	if !strings.Contains(e.Error(), CodeOverloaded) || !strings.Contains(e.Error(), "over capacity") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+// TestDecodeErrorFallbacks covers responses that do not carry the
+// envelope (mux 405s, proxies): synthesized code, raw-body message,
+// header-derived Retry-After.
+func TestDecodeErrorFallbacks(t *testing.T) {
+	h := http.Header{}
+	h.Set("Retry-After", "3")
+	e := DecodeError(http.StatusMethodNotAllowed, h, []byte("Method Not Allowed\n"))
+	if e.Code != "http_405" || e.Message != "Method Not Allowed" {
+		t.Errorf("fallback decode = %+v", e)
+	}
+	if e.RetryAfter != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s", e.RetryAfter)
+	}
+	if e.Temporary() {
+		t.Error("405 reported Temporary")
+	}
+}
+
+// fakeServer implements just enough of the wire contract to exercise
+// the Client: it records the last decoded run request and serves canned
+// responses.
+func fakeServer(t *testing.T) (*httptest.Server, *RunRequest) {
+	t.Helper()
+	var lastRun RunRequest
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		if err := ReadJSON(w, r, &lastRun); err != nil {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
+		if lastRun.Day == 429 {
+			w.Header().Set("Retry-After", "1")
+			WriteError(w, http.StatusTooManyRequests, CodeOverloaded, "shed")
+			return
+		}
+		w.Header().Set(HeaderCache, obs.CacheHit)
+		w.Header().Set(HeaderRoute, RouteHedged)
+		w.Header().Set(HeaderBackend, "b1")
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"label":"fake"}`))
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if err := ReadJSON(w, r, &req); err != nil {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
+		items := make([]SweepItem, len(req.Runs))
+		for i, run := range req.Runs {
+			items[i] = SweepItem{Hash: run.Hash(), Cache: obs.CacheMiss, Result: json.RawMessage(`{}`)}
+		}
+		_ = json.NewEncoder(w).Encode(SweepResponse{Results: items})
+	})
+	mux.HandleFunc("GET /v1/policies", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode(PoliciesResponse{Policies: []string{"A", "B"}})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		reg := obs.NewRegistry()
+		reg.Add("serve_runs_total", 7)
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &lastRun
+}
+
+func TestRunStampsVersionAndDecodesHeaders(t *testing.T) {
+	ts, lastRun := fakeServer(t)
+	c := New(ts.URL + "/") // trailing slash tolerated
+	res, err := c.Run(context.Background(), RunRequest{RunSpec: solarcore.RunSpec{StepMin: 8}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if lastRun.V != WireVersion {
+		t.Errorf("server saw v = %d, want %d", lastRun.V, WireVersion)
+	}
+	if res.Cache != obs.CacheHit || res.Route != RouteHedged || res.Backend != "b1" {
+		t.Errorf("dispositions = %+v", res)
+	}
+	if string(res.Body) != `{"label":"fake"}` {
+		t.Errorf("Body = %s", res.Body)
+	}
+	if _, err := res.Decode(); err != nil {
+		t.Errorf("Decode: %v", err)
+	}
+}
+
+func TestRunSurfacesAPIError(t *testing.T) {
+	ts, _ := fakeServer(t)
+	c := New(ts.URL)
+	_, err := c.Run(context.Background(), RunRequest{RunSpec: solarcore.RunSpec{Day: 429}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || apiErr.Code != CodeOverloaded {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+	if apiErr.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s (from retry_after_ms)", apiErr.RetryAfter)
+	}
+}
+
+func TestSweepPoliciesMetricsHealthz(t *testing.T) {
+	ts, _ := fakeServer(t)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	runs := []RunRequest{{RunSpec: solarcore.RunSpec{Day: 0}}, {RunSpec: solarcore.RunSpec{Day: 1}}}
+	sr, err := c.Sweep(ctx, SweepRequest{Runs: runs})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(sr.Results) != 2 || sr.Results[0].Hash != runs[0].Hash() {
+		t.Errorf("sweep results = %+v", sr.Results)
+	}
+
+	pols, err := c.Policies(ctx)
+	if err != nil || len(pols) != 2 {
+		t.Errorf("Policies = %v, %v", pols, err)
+	}
+
+	snap, err := c.Metrics(ctx)
+	if err != nil || snap.Counters["serve_runs_total"] != 7 {
+		t.Errorf("Metrics = %+v, %v", snap.Counters, err)
+	}
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Errorf("Healthz: %v", err)
+	}
+}
+
+// TestContextCancellationAborts pins that a dead context aborts the
+// request with a non-APIError transport error.
+func TestContextCancellationAborts(t *testing.T) {
+	ts, _ := fakeServer(t)
+	c := New(ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Run(ctx, RunRequest{})
+	if err == nil {
+		t.Fatal("Run with canceled context succeeded")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Errorf("cancellation decoded as APIError: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Machine-readable error codes of the v1 envelope. Every non-2xx
+// response from solard or solargate carries exactly one of these (or,
+// for responses produced outside the handler layer, a synthesized
+// "http_<status>" code).
+const (
+	// CodeBadRequest: the body failed strict decoding or spec validation.
+	CodeBadRequest = "bad_request"
+	// CodeUnsupportedVersion: the request's "v" field names a wire
+	// version this build does not speak.
+	CodeUnsupportedVersion = "unsupported_version"
+	// CodeOverloaded: backpressure shed the request (HTTP 429).
+	CodeOverloaded = "overloaded"
+	// CodeDraining: the server is shutting down and refuses new work.
+	CodeDraining = "draining"
+	// CodeDeadline: the per-run deadline expired (HTTP 504).
+	CodeDeadline = "deadline_exceeded"
+	// CodeCanceled: the run died with the server's base context.
+	CodeCanceled = "canceled"
+	// CodeInternal: an unclassified server-side failure (HTTP 500).
+	CodeInternal = "internal"
+	// CodeNoBackends: the router has no healthy backend for the key.
+	CodeNoBackends = "no_backends"
+	// CodeUnreachable: every routed attempt failed at the transport
+	// layer (HTTP 502).
+	CodeUnreachable = "upstream_unreachable"
+)
+
+// wireError is the JSON shape of the envelope's "error" object:
+// {"error": {"code", "message", "retry_after_ms"}}.
+type wireError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int    `json:"retry_after_ms,omitempty"`
+}
+
+// errorEnvelope is the uniform non-2xx response body.
+type errorEnvelope struct {
+	Error wireError `json:"error"`
+}
+
+// APIError is a non-2xx response decoded into a typed error: the HTTP
+// status, the envelope's machine-readable code and message, and the
+// retry hint (from retry_after_ms, falling back to the Retry-After
+// header). Callers test with errors.As.
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api error %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Temporary reports whether retrying the request (elsewhere or later)
+// can plausibly succeed: backpressure, drain, upstream and timeout
+// statuses are temporary; 4xx validation failures are not.
+func (e *APIError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// WriteError emits the v1 error envelope — the single server-side error
+// writer; internal/serve and internal/route both route every non-2xx
+// body through it. A Retry-After header already set on w (whole
+// seconds, the HTTP convention) is mirrored into retry_after_ms so
+// clients get the hint without header parsing. A late encode failure
+// cannot reach the client (the header is out) and is dropped.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	ms := 0
+	if ra := w.Header().Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			ms = secs * 1000
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{wireError{Code: code, Message: msg, RetryAfterMs: ms}})
+}
+
+// DecodeError builds the APIError for a non-2xx response — the single
+// client-side envelope decoder. Responses produced outside the handler
+// layer (the mux's 405s, proxies) may not carry the envelope; those
+// fall back to a synthesized "http_<status>" code with the raw body as
+// the message.
+func DecodeError(status int, header http.Header, body []byte) *APIError {
+	e := &APIError{Status: status, Code: "http_" + strconv.Itoa(status)}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		e.Code = env.Error.Code
+		e.Message = env.Error.Message
+		e.RetryAfter = time.Duration(env.Error.RetryAfterMs) * time.Millisecond
+	} else {
+		e.Message = strings.TrimSpace(string(body))
+	}
+	if e.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(header.Get("Retry-After")); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}

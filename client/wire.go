@@ -1,0 +1,130 @@
+// Package client is the single wire contract of the solard/solargate
+// HTTP API and its typed Go client (DESIGN.md §12, §15). The request
+// and response bodies of every /v1/* endpoint, the v1 error envelope,
+// the strict server-side decoder and the response-header vocabulary are
+// all defined here, exactly once; internal/serve (the single-node
+// server), internal/route (the fleet router), cmd/solarload (the
+// benchmark) and the end-to-end tests all import these definitions, so
+// the protocol cannot drift between layers.
+//
+// The Client type speaks that contract over net/http with context
+// deadlines, typed errors (*APIError carries status, machine-readable
+// code and Retry-After) and a shared keep-alive transport so repeated
+// calls against the same backend reuse connections.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"solarcore"
+)
+
+// WireVersion is the protocol version this build speaks. Requests carry
+// it in their "v" field; a server receiving a version it does not know
+// answers 400 with CodeUnsupportedVersion, so a router can front a
+// mixed-version fleet and fail loudly instead of mis-simulating.
+const WireVersion = 1
+
+// CheckWireVersion validates a request's "v" field. Zero is accepted as
+// v1 — pre-versioned clients omit the field — so the check only rejects
+// explicit versions this build does not speak.
+func CheckWireVersion(v int) error {
+	if v == 0 || v == WireVersion {
+		return nil
+	}
+	return fmt.Errorf("unsupported wire version %d (this build speaks v%d)", v, WireVersion)
+}
+
+// RunRequest is the POST /v1/run body: one solarcore.RunSpec (the
+// simulation identity) plus transport-level fields that do not affect
+// the cache key.
+type RunRequest struct {
+	// V is the wire version (WireVersion; 0 is accepted as v1).
+	V int `json:"v,omitempty"`
+	solarcore.RunSpec
+	// TimeoutMs shortens the server's per-run deadline for this request
+	// (clamped to the server's maximum). Coalesced followers inherit the
+	// leader's deadline.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep body: a batch of run requests
+// fanned over the server's bounded worker pool (or, through solargate,
+// over the owning shards of a fleet).
+type SweepRequest struct {
+	// V is the wire version (WireVersion; 0 is accepted as v1).
+	V    int          `json:"v,omitempty"`
+	Runs []RunRequest `json:"runs"`
+}
+
+// SweepItem is one /v1/sweep result, in request order. Exactly one of
+// Result and Error is set.
+type SweepItem struct {
+	// Hash is the spec's cache identity (solarcore.RunSpec.Hash).
+	Hash string `json:"hash"`
+	// Cache is the disposition: obs.CacheHit, CacheMiss or CacheCoalesced.
+	Cache string `json:"cache,omitempty"`
+	// Result is the marshaled DayResult.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the per-item failure, when the run could not complete.
+	Error string `json:"error,omitempty"`
+}
+
+// SweepResponse is the /v1/sweep response body.
+type SweepResponse struct {
+	Results []SweepItem `json:"results"`
+}
+
+// PoliciesResponse is the /v1/policies response body.
+type PoliciesResponse struct {
+	Policies []string `json:"policies"`
+}
+
+// Response headers of the simulation endpoints. HeaderCache is set by
+// every serving layer; HeaderRoute and HeaderBackend are added by
+// solargate so clients can attribute a response to its routing path.
+const (
+	// HeaderCache carries the cache disposition (obs.CacheHit,
+	// CacheMiss, CacheCoalesced).
+	HeaderCache = "X-Cache"
+	// HeaderRoute carries the routing disposition (RoutePrimary,
+	// RouteHedged, RouteRetried); absent when talking to solard directly.
+	HeaderRoute = "X-Gate"
+	// HeaderBackend names the backend that produced the response.
+	HeaderBackend = "X-Gate-Backend"
+)
+
+// HeaderRoute values.
+const (
+	// RoutePrimary means the key's first healthy ring owner answered.
+	RoutePrimary = "primary"
+	// RouteHedged means a hedge fired and the hedged attempt won.
+	RouteHedged = "hedged"
+	// RouteRetried means at least one fail-over retry preceded the
+	// winning attempt.
+	RouteRetried = "retried"
+)
+
+// MaxBodyBytes bounds request bodies server-side; a RunSpec is a few
+// hundred bytes, a full sweep a few kilobytes.
+const MaxBodyBytes = 1 << 20
+
+// ReadJSON decodes one strict JSON value from the request body: unknown
+// fields and trailing data are errors, so typos in spec fields fail
+// loudly with 400 instead of silently simulating the default. It is the
+// one server-side request decoder (solard and solargate both use it).
+func ReadJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data")
+	}
+	return nil
+}

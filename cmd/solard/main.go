@@ -6,7 +6,7 @@
 // Usage:
 //
 //	solard [-addr 127.0.0.1:8090] [-inflight 0] [-queue 0] [-cache 1024] \
-//	       [-timeout 30s] [-grace 10s] [-access path|-]
+//	       [-timeout 30s] [-grace 10s] [-access path|-] [-ratelimit 0]
 //
 // Endpoints:
 //
@@ -19,10 +19,13 @@
 // -addr with port 0 binds an ephemeral port; the bound address is
 // printed as "solard: listening on http://HOST:PORT" so scripts can
 // scrape it. -access streams one JSONL access-log line per request
-// (obs.AccessEvent; "-" for stdout). On SIGINT/SIGTERM the server
-// drains: /healthz starts failing, new simulations are refused, both
-// with Retry-After, in-flight requests finish (bounded by -grace), and
-// the process exits 0.
+// (obs.AccessEvent; "-" for stdout). -ratelimit N paces the simulation
+// routes (POST /v1/*) to at most N requests per second through a token
+// bucket — the fleet smoke test uses it to measure solargate's scale-out
+// on a single host, and it doubles as a per-node admission throttle. On
+// SIGINT/SIGTERM the server drains: /healthz starts failing, new
+// simulations are refused, both with Retry-After, in-flight requests
+// finish (bounded by -grace), and the process exits 0.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"solarcore/internal/obs"
@@ -59,6 +63,42 @@ func fail(stderr io.Writer, format string, args ...any) int {
 	return 1
 }
 
+// paced wraps h with a token bucket that admits at most perSec
+// simulation requests (POST /v1/*) per second; read-only routes pass
+// through unthrottled. A waiting request holds no worker slot, so the
+// bucket shapes throughput without inflating the serve queue. The
+// refill goroutine dies with ctx (process shutdown).
+func paced(ctx context.Context, h http.Handler, perSec int) http.Handler {
+	tokens := make(chan struct{}, perSec)
+	go func() {
+		t := time.NewTicker(time.Second / time.Duration(perSec))
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				select {
+				case tokens <- struct{}{}:
+				default: // bucket full: unclaimed capacity does not bank beyond 1s
+				}
+			}
+		}
+	}()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/") {
+			select {
+			case <-tokens:
+			case <-r.Context().Done():
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 // run is the testable entry point: ctx cancellation is the shutdown
 // signal (main wires SIGINT/SIGTERM; tests cancel directly).
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
@@ -71,6 +111,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-simulation deadline")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
 	access := fs.String("access", "", "JSONL access-log path (\"-\" = stdout, empty = off)")
+	ratelimit := fs.Int("ratelimit", 0, "max simulation requests per second (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,6 +120,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *timeout <= 0 || *grace <= 0 {
 		return fail(stderr, "-timeout and -grace must be positive durations")
+	}
+	if *ratelimit < 0 {
+		return fail(stderr, "-ratelimit must be >= 0")
 	}
 
 	var sink *obs.JSONLSink
@@ -108,7 +152,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, "%v", err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *ratelimit > 0 {
+		handler = paced(ctx, handler, *ratelimit)
+	}
+	hs := &http.Server{Handler: handler}
 	pf(stdout, "solard: listening on http://%s\n", ln.Addr())
 
 	served := make(chan error, 1)

@@ -36,6 +36,7 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		{"-cache", "0"},
 		{"-timeout", "0s"},
 		{"-grace", "-1s"},
+		{"-ratelimit", "-1"},
 	}
 	for _, args := range cases {
 		var out, errw syncBuffer

@@ -1,6 +1,7 @@
-// Command solarload hammers a running solard and reports throughput,
-// latency percentiles and cache/coalesce effectiveness — the repo's
-// end-to-end serving benchmark.
+// Command solarload hammers a running solard (or a solargate fleet) and
+// reports throughput, latency percentiles and cache/coalesce/route
+// effectiveness — the repo's end-to-end serving benchmark. It is built
+// on solarcore/client, the same typed wire client the gate itself uses.
 //
 // Usage:
 //
@@ -12,8 +13,14 @@
 // (whichever stops first when both are set). -c is the concurrent
 // client count. -distinct rotates the day index across that many
 // distinct specs, so 1 measures the pure cached/coalesced fast path and
-// larger values force cache misses. -check probes /healthz and a single
-// /v1/run instead of generating load (the scripts/check.sh smoke).
+// larger values force cache misses (and, against a gate, spread keys
+// across the ring). -check probes /healthz and a single /v1/run instead
+// of generating load (the scripts/check.sh smoke).
+//
+// The report breaks latency down per disposition: the backend's cache
+// verdict (hit/miss/coalesced) and, through a gate, the route verdict
+// (hedged/retried) — a hedged tail or a retry storm shows up as its own
+// line instead of hiding in the aggregate percentiles.
 //
 // The exit code is non-zero when any response is dropped (transport
 // error) or non-200 — the "zero dropped responses" gate of the serving
@@ -21,21 +28,20 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
 	"solarcore"
+	"solarcore/client"
 	"solarcore/internal/obs"
+	"solarcore/internal/route"
 	"solarcore/internal/sigctx"
 )
 
@@ -57,11 +63,14 @@ func fail(stderr io.Writer, format string, args ...any) int {
 	return 1
 }
 
-// shot is one request's outcome.
+// shot is one request's outcome. disp is the latency-bucketing label:
+// the route verdict (hedged/retried) when the gate reports one, else
+// the backend's cache verdict (hit/miss/coalesced).
 type shot struct {
 	ms      float64
 	status  int
 	cache   string
+	disp    string
 	dropped bool
 }
 
@@ -83,7 +92,7 @@ func percentile(sorted []float64, q float64) float64 {
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("solarload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	baseURL := fs.String("url", "", "solard base URL, e.g. http://127.0.0.1:8090 (required)")
+	baseURL := fs.String("url", "", "solard/solargate base URL, e.g. http://127.0.0.1:8090 (required)")
 	n := fs.Int("n", 2000, "total requests to send (0 = unlimited, use -dur)")
 	dur := fs.Duration("dur", 0, "send for this long (0 = until -n requests)")
 	conc := fs.Int("c", 16, "concurrent clients")
@@ -93,7 +102,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	policy := fs.String("policy", solarcore.PolicyOpt, "spec: MPPT policy")
 	step := fs.Float64("step", 8, "spec: sub-sampling step in minutes")
 	distinct := fs.Int("distinct", 1, "rotate the day index over this many distinct specs")
-	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	check := fs.Bool("check", false, "probe /healthz and one /v1/run, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,34 +110,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *baseURL == "" {
 		return fail(stderr, "-url is required")
 	}
-	url := strings.TrimRight(*baseURL, "/")
 	if *conc < 1 || *distinct < 1 {
 		return fail(stderr, "-c and -distinct must be at least 1")
 	}
 	if *n <= 0 && *dur <= 0 {
 		return fail(stderr, "give -n, -dur or both")
 	}
+	if *timeout <= 0 {
+		return fail(stderr, "-timeout must be a positive duration")
+	}
 	spec := solarcore.RunSpec{Site: *siteCode, Season: *seasonName, Mix: *mixName,
 		Policy: *policy, StepMin: *step}
 	if err := spec.Validate(); err != nil {
 		return fail(stderr, "%v", err)
 	}
-	client := &http.Client{Timeout: *timeout}
+	cli := client.New(*baseURL)
 
 	if *check {
-		return runCheck(ctx, client, url, spec, stdout, stderr)
+		return runCheck(ctx, cli, spec, *timeout, stdout, stderr)
 	}
 
-	// Pre-marshal the request bodies: one per distinct day index.
-	bodies := make([][]byte, *distinct)
-	for i := range bodies {
+	// Pre-build the typed requests: one per distinct day index.
+	reqs := make([]client.RunRequest, *distinct)
+	for i := range reqs {
 		s := spec
 		s.Day = i
-		b, err := json.Marshal(s)
-		if err != nil {
-			return fail(stderr, "%v", err)
-		}
-		bodies[i] = b
+		reqs[i] = client.RunRequest{RunSpec: s}
 	}
 
 	var (
@@ -148,7 +155,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				sh := fire(lctx, client, url, bodies[i%len(bodies)])
+				sh := fire(lctx, cli, reqs[i%len(reqs)], *timeout)
 				mu.Lock()
 				shots = append(shots, sh)
 				mu.Unlock()
@@ -168,46 +175,52 @@ feed:
 	wg.Wait()
 	wall := time.Since(start)
 
-	return report(client, url, shots, wall, stdout, stderr)
+	return report(ctx, cli, shots, wall, stdout, stderr)
 }
 
-// fire sends one /v1/run request and measures it.
-func fire(ctx context.Context, client *http.Client, url string, body []byte) shot {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/run", bytes.NewReader(body))
-	if err != nil {
-		return shot{dropped: true}
-	}
-	req.Header.Set("Content-Type", "application/json")
+// fire sends one typed run request and measures it.
+func fire(ctx context.Context, cli *client.Client, req client.RunRequest, timeout time.Duration) shot {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	start := time.Now()
-	resp, err := client.Do(req)
+	res, err := cli.Run(rctx, req)
+	ms := time.Since(start).Seconds() * 1000
 	if err != nil {
+		var ae *client.APIError
+		if errors.As(err, &ae) {
+			return shot{ms: ms, status: ae.Status}
+		}
 		return shot{dropped: true}
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	_ = resp.Body.Close()
-	return shot{
-		ms:     time.Since(start).Seconds() * 1000,
-		status: resp.StatusCode,
-		cache:  resp.Header.Get("X-Cache"),
+	sh := shot{ms: ms, status: 200, cache: res.Cache, disp: res.Cache}
+	// Through a gate, hedged/retried routes are the interesting latency
+	// populations; they take precedence as the bucketing label.
+	if res.Route == client.RouteHedged || res.Route == client.RouteRetried {
+		sh.disp = res.Route
 	}
+	return sh
 }
 
-// report prints the latency/throughput summary plus the server's own
-// cache/coalesce counters, and decides the exit code.
-func report(client *http.Client, url string, shots []shot, wall time.Duration, stdout, stderr io.Writer) int {
+// report prints the latency/throughput summary, per-disposition latency
+// breakdown, and the server's own counters, then decides the exit code.
+func report(ctx context.Context, cli *client.Client, shots []shot, wall time.Duration, stdout, stderr io.Writer) int {
 	var ok, dropped, non200 int
-	disp := map[string]int{}
+	cacheDisp := map[string]int{}
+	byDisp := map[string][]float64{}
 	var lat []float64
 	for _, sh := range shots {
 		switch {
 		case sh.dropped:
 			dropped++
-		case sh.status != http.StatusOK:
+		case sh.status != 200:
 			non200++
 		default:
 			ok++
 			lat = append(lat, sh.ms)
-			disp[sh.cache]++
+			cacheDisp[sh.cache]++
+			if sh.disp != "" {
+				byDisp[sh.disp] = append(byDisp[sh.disp], sh.ms)
+			}
 		}
 	}
 	sort.Float64s(lat)
@@ -221,80 +234,76 @@ func report(client *http.Client, url string, shots []shot, wall time.Duration, s
 	pf(stdout, "wall         : %.2f s  (%.0f req/s sustained)\n", secs, rate)
 	pf(stdout, "latency ms   : p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 		percentile(lat, 0.50), percentile(lat, 0.95), percentile(lat, 0.99), percentile(lat, 1))
-	total := disp[obs.CacheHit] + disp[obs.CacheMiss] + disp[obs.CacheCoalesced]
+	total := cacheDisp[obs.CacheHit] + cacheDisp[obs.CacheMiss] + cacheDisp[obs.CacheCoalesced]
 	if total > 0 {
 		pf(stdout, "dispositions : %d hit (%.1f%%), %d coalesced (%.1f%%), %d miss (%.1f%%)\n",
-			disp[obs.CacheHit], 100*float64(disp[obs.CacheHit])/float64(total),
-			disp[obs.CacheCoalesced], 100*float64(disp[obs.CacheCoalesced])/float64(total),
-			disp[obs.CacheMiss], 100*float64(disp[obs.CacheMiss])/float64(total))
+			cacheDisp[obs.CacheHit], 100*float64(cacheDisp[obs.CacheHit])/float64(total),
+			cacheDisp[obs.CacheCoalesced], 100*float64(cacheDisp[obs.CacheCoalesced])/float64(total),
+			cacheDisp[obs.CacheMiss], 100*float64(cacheDisp[obs.CacheMiss])/float64(total))
 	}
-	printServerCounters(client, url, stdout)
+	// One latency line per disposition, stable order: cache verdicts
+	// first, then gate route verdicts.
+	for _, d := range []string{obs.CacheHit, obs.CacheCoalesced, obs.CacheMiss,
+		client.RouteHedged, client.RouteRetried} {
+		samples := byDisp[d]
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Float64s(samples)
+		pf(stdout, "  %-11s: %6d reqs  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+			d, len(samples), percentile(samples, 0.50), percentile(samples, 0.95),
+			percentile(samples, 0.99), percentile(samples, 1))
+	}
+	printServerCounters(ctx, cli, stdout)
 	if dropped > 0 || non200 > 0 {
 		return fail(stderr, "%d dropped, %d non-200 responses", dropped, non200)
 	}
 	return 0
 }
 
-// printServerCounters fetches /metrics and echoes the serve_* counters;
-// best-effort — a metrics failure does not fail the load run.
-func printServerCounters(client *http.Client, url string, stdout io.Writer) {
-	resp, err := client.Get(url + "/metrics")
+// printServerCounters fetches /metrics and echoes the serve_* counters
+// (fleet-merged when -url points at a gate); best-effort — a metrics
+// failure does not fail the load run.
+func printServerCounters(ctx context.Context, cli *client.Client, stdout io.Writer) {
+	mctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	snap, err := cli.Metrics(mctx)
 	if err != nil {
-		return
-	}
-	defer func() { _ = resp.Body.Close() }()
-	var snap obs.Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return
 	}
 	pf(stdout, "server       : runs %.0f, cache hits %.0f, misses %.0f, coalesced %.0f, rejected %.0f, evictions %.0f\n",
 		snap.Counters["serve_runs_total"], snap.Counters["serve_cache_hits_total"],
 		snap.Counters["serve_cache_misses_total"], snap.Counters["serve_coalesced_total"],
 		snap.Counters["serve_rejected_total"], snap.Counters["serve_cache_evictions_total"])
+	if snap.Counters[route.MetricRequests] > 0 {
+		pf(stdout, "gate         : requests %.0f, hedges %.0f (won %.0f), retries %.0f, healthy backends %.0f\n",
+			snap.Counters[route.MetricRequests], snap.Counters[route.MetricHedges],
+			snap.Counters[route.MetricHedgeWins], snap.Counters[route.MetricRetries],
+			snap.Gauges[route.MetricBackendsHealthy])
+	}
 }
 
 // runCheck is the -check probe: /healthz must answer 200 and one
 // /v1/run must produce a DayResult.
-func runCheck(ctx context.Context, client *http.Client, url string, spec solarcore.RunSpec, stdout, stderr io.Writer) int {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
-	if err != nil {
-		return fail(stderr, "%v", err)
-	}
-	resp, err := client.Do(req)
-	if err != nil {
+func runCheck(ctx context.Context, cli *client.Client, spec solarcore.RunSpec, timeout time.Duration, stdout, stderr io.Writer) int {
+	hctx, hcancel := context.WithTimeout(ctx, timeout)
+	defer hcancel()
+	if err := cli.Healthz(hctx); err != nil {
 		return fail(stderr, "healthz: %v", err)
-	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	_ = resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fail(stderr, "healthz: status %d", resp.StatusCode)
 	}
 	pf(stdout, "healthz      : ok\n")
 
-	body, err := json.Marshal(spec)
-	if err != nil {
-		return fail(stderr, "%v", err)
-	}
-	rreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/run", bytes.NewReader(body))
-	if err != nil {
-		return fail(stderr, "%v", err)
-	}
-	rreq.Header.Set("Content-Type", "application/json")
-	rresp, err := client.Do(rreq)
+	rctx, rcancel := context.WithTimeout(ctx, timeout)
+	defer rcancel()
+	rres, err := cli.Run(rctx, client.RunRequest{RunSpec: spec})
 	if err != nil {
 		return fail(stderr, "run: %v", err)
 	}
-	defer func() { _ = rresp.Body.Close() }()
-	if rresp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(rresp.Body, 512))
-		return fail(stderr, "run: status %d: %s", rresp.StatusCode, strings.TrimSpace(string(msg)))
-	}
-	var res solarcore.DayResult
-	if err := json.NewDecoder(rresp.Body).Decode(&res); err != nil {
-		return fail(stderr, "run: decode: %v", err)
+	res, err := rres.Decode()
+	if err != nil {
+		return fail(stderr, "run: %v", err)
 	}
 	pf(stdout, "run          : %s mix %s %s — %.0f Wh solar (%.1f%% utilization), cache %s\n",
-		res.Policy, res.Mix, res.Label, res.SolarWh, res.Utilization()*100,
-		rresp.Header.Get("X-Cache"))
+		res.Policy, res.Mix, res.Label, res.SolarWh, res.Utilization()*100, rres.Cache)
 	return 0
 }

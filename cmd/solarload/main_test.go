@@ -31,6 +31,7 @@ func TestBadFlagCombosExitNonZero(t *testing.T) {
 		{"-url", "http://x", "-distinct", "0"},
 		{"-url", "http://x", "-n", "0"},
 		{"-url", "http://x", "-policy", "MPPT&Nope"},
+		{"-url", "http://x", "-timeout", "0s"},
 	} {
 		if code, _, _ := runCLI(args...); code == 0 {
 			t.Errorf("run(%v) = 0, want non-zero", args)
@@ -80,7 +81,8 @@ func TestLoadRunReportsAndExitsZero(t *testing.T) {
 		t.Fatalf("exit = %d; stderr: %q stdout:\n%s", code, errs, out)
 	}
 	for _, want := range []string{"64 total, 64 ok, 0 non-200, 0 dropped",
-		"latency ms", "dispositions", "req/s sustained", "server       :"} {
+		"latency ms", "dispositions", "req/s sustained", "server       :",
+		"reqs  p50"} { // per-disposition latency breakdown
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}

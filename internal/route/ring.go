@@ -1,0 +1,83 @@
+package route
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring: each backend contributes vnodes
+// points (SHA-256 of "name#i", truncated to 64 bits), and a key is
+// owned by the first point clockwise from the key's own position.
+// Virtual nodes smooth the load split; consistency means adding or
+// removing one backend only moves the keys that point at it, so the
+// per-backend result caches of a fleet survive membership changes
+// mostly intact. The ring is immutable after build — membership changes
+// build a new ring — so lookups need no locking.
+type ring struct {
+	points []ringPoint // sorted by hash, ascending
+}
+
+// ringPoint is one virtual node: a position on the ring and the index
+// of the backend that owns it.
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// buildRing places vnodes points per backend name. Names must be
+// distinct; the caller (New) enforces that.
+func buildRing(names []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(names)*vnodes)}
+	for idx, name := range names {
+		for v := 0; v < vnodes; v++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", name, v)))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), idx: idx})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on backend index so the order is deterministic even in
+		// the astronomically unlikely event of a 64-bit collision.
+		return r.points[i].idx < r.points[j].idx
+	})
+	return r
+}
+
+// keyPoint maps a request key onto the ring. RunSpec.Hash is already a
+// hex SHA-256 string, so the first 16 hex digits are a uniform 64-bit
+// value and need no re-hashing; any other key is hashed fresh.
+func keyPoint(key string) uint64 {
+	if len(key) >= 16 {
+		if b, err := hex.DecodeString(key[:16]); err == nil {
+			return binary.BigEndian.Uint64(b)
+		}
+	}
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// owners returns up to max distinct backend indices in ring order
+// starting at the key's position: owners[0] is the primary, owners[1]
+// the first distinct successor (the hedge/fail-over target), and so on.
+func (r *ring) owners(key string, max int) []int {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := keyPoint(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[int]bool{}
+	out := make([]int, 0, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}

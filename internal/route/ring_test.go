@@ -1,0 +1,123 @@
+package route
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// testKey fabricates a hex key the fast path of keyPoint accepts, like
+// a real RunSpec.Hash.
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return fmt.Sprintf("%x", sum)
+}
+
+const ringKeys = 2000
+
+func TestRingBalance(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r := buildRing(names, 64)
+	counts := make([]int, len(names))
+	for i := 0; i < ringKeys; i++ {
+		counts[r.owners(testKey(i), 1)[0]]++
+	}
+	for idx, c := range counts {
+		share := float64(c) / ringKeys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("backend %d owns %.1f%% of keys, want 15%%..55%% (counts %v)",
+				idx, share*100, counts)
+		}
+	}
+}
+
+// Removing a backend must not move any key that the victim did not own:
+// that is the property that keeps the surviving nodes' caches warm.
+func TestRingRemovalKeepsSurvivorOwnership(t *testing.T) {
+	all := buildRing([]string{"http://a", "http://b", "http://c"}, 64)
+	ab := buildRing([]string{"http://a", "http://b"}, 64)
+	moved := 0
+	for i := 0; i < ringKeys; i++ {
+		k := testKey(i)
+		was := all.owners(k, 1)[0]
+		now := ab.owners(k, 1)[0]
+		if was == 2 {
+			moved++
+			continue // c's keys must land somewhere else; anywhere is fine
+		}
+		if now != was {
+			t.Fatalf("key %d moved from surviving backend %d to %d on removal", i, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("backend c owned no keys; balance test should have caught this")
+	}
+}
+
+// Adding a backend may only move keys onto the newcomer, and only a
+// bounded fraction of them (~1/3 for a 2→3 grow).
+func TestRingAdditionMovesBoundedFraction(t *testing.T) {
+	ab := buildRing([]string{"http://a", "http://b"}, 64)
+	all := buildRing([]string{"http://a", "http://b", "http://c"}, 64)
+	moved := 0
+	for i := 0; i < ringKeys; i++ {
+		k := testKey(i)
+		was := ab.owners(k, 1)[0]
+		now := all.owners(k, 1)[0]
+		if now == was {
+			continue
+		}
+		if now != 2 {
+			t.Fatalf("key %d moved from %d to %d, but only the new backend may gain keys", i, was, now)
+		}
+		moved++
+	}
+	frac := float64(moved) / ringKeys
+	if frac < 0.10 || frac > 0.60 {
+		t.Errorf("addition moved %.1f%% of keys, want 10%%..60%% (expected ~33%%)", frac*100)
+	}
+}
+
+func TestOwnersDistinctAndOrdered(t *testing.T) {
+	r := buildRing([]string{"http://a", "http://b", "http://c"}, 64)
+	for i := 0; i < 50; i++ {
+		k := testKey(i)
+		three := r.owners(k, 3)
+		if len(three) != 3 {
+			t.Fatalf("owners(%q, 3) = %v, want 3 distinct", k, three)
+		}
+		seen := map[int]bool{}
+		for _, idx := range three {
+			if seen[idx] {
+				t.Fatalf("owners(%q, 3) = %v repeats backend %d", k, three, idx)
+			}
+			seen[idx] = true
+		}
+		// The shorter list is a strict prefix: the hedge target does not
+		// depend on how many candidates the caller asked for.
+		if one := r.owners(k, 1); one[0] != three[0] {
+			t.Fatalf("owners(%q, 1) = %v disagrees with owners(,3) = %v", k, one, three)
+		}
+	}
+	if got := r.owners(testKey(0), 9); len(got) != 3 {
+		t.Errorf("owners(k, 9) over 3 backends = %v, want exactly 3", got)
+	}
+}
+
+func TestKeyPointFastPath(t *testing.T) {
+	// A 64-hex-digit key decodes its leading 16 digits directly.
+	key := "00000000000000ff" + "0000000000000000000000000000000000000000000000000000"
+	if got := keyPoint(key); got != 0xff {
+		t.Errorf("keyPoint(hex) = %#x, want 0xff", got)
+	}
+	// A non-hex key falls back to hashing and must still be stable.
+	a, b := keyPoint("not hex at all!!"), keyPoint("not hex at all!!")
+	if a != b {
+		t.Errorf("fallback keyPoint unstable: %#x vs %#x", a, b)
+	}
+	sum := sha256.Sum256([]byte("not hex at all!!"))
+	if want := binary.BigEndian.Uint64(sum[:8]); a != want {
+		t.Errorf("fallback keyPoint = %#x, want sha256 prefix %#x", a, want)
+	}
+}

@@ -2,95 +2,41 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 
 	"solarcore"
+	"solarcore/client"
 )
 
-// RunRequest is the /v1/run request body: one solarcore.RunSpec (the
-// simulation identity) plus transport-level fields that do not affect
-// the cache key.
-type RunRequest struct {
-	solarcore.RunSpec
-	// TimeoutMs shortens the server's per-run deadline for this request
-	// (clamped to Config.MaxTimeout). Coalesced followers inherit the
-	// leader's deadline.
-	TimeoutMs int `json:"timeout_ms,omitempty"`
-}
+// The wire contract — request/response types, the error envelope, the
+// strict decoder — is defined once in solarcore/client and shared with
+// the fleet router and every consumer; this package only implements the
+// server side of it.
 
-// SweepRequest is the /v1/sweep request body: a batch of run requests
-// fanned over the server's bounded worker pool.
-type SweepRequest struct {
-	Runs []RunRequest `json:"runs"`
-}
-
-// SweepItem is one /v1/sweep result, in request order. Exactly one of
-// Result and Error is set.
-type SweepItem struct {
-	// Hash is the spec's cache identity (solarcore.RunSpec.Hash).
-	Hash string `json:"hash"`
-	// Cache is the disposition: obs.CacheHit, CacheMiss or CacheCoalesced.
-	Cache string `json:"cache,omitempty"`
-	// Result is the marshaled DayResult.
-	Result json.RawMessage `json:"result,omitempty"`
-	// Error is the per-item failure, when the run could not complete.
-	Error string `json:"error,omitempty"`
-}
-
-// SweepResponse is the /v1/sweep response body.
-type SweepResponse struct {
-	Results []SweepItem `json:"results"`
-}
-
-// PoliciesResponse is the /v1/policies response body.
-type PoliciesResponse struct {
-	Policies []string `json:"policies"`
-}
-
-// maxBodyBytes bounds request bodies; a RunSpec is a few hundred bytes,
-// a full sweep a few kilobytes.
-const maxBodyBytes = 1 << 20
-
-// decodeJSON decodes one strict JSON value from the request body:
-// unknown fields and trailing data are errors, so typos in spec fields
-// fail loudly with 400 instead of silently simulating the default.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("bad request body: %v", err)
-	}
-	if dec.More() {
-		return errors.New("bad request body: trailing data")
-	}
-	return nil
-}
-
-// writeRunError maps a Result failure to its HTTP status: backpressure
-// and drain shed load retryably (429/503 + Retry-After), a blown run
-// deadline is 504, and anything else is a plain 500.
+// writeRunError maps a Result failure to its HTTP status and envelope
+// code: backpressure and drain shed load retryably (429/503 +
+// Retry-After), a blown run deadline is 504, and anything else is a
+// plain 500.
 func (s *Server) writeRunError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusTooManyRequests, err.Error())
+		s.writeError(w, http.StatusTooManyRequests, client.CodeOverloaded, err.Error())
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "5")
-		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, http.StatusServiceUnavailable, client.CodeDraining, err.Error())
 	case errors.Is(err, solarcore.ErrUnknownPolicy):
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, client.CodeBadRequest, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
-		s.writeError(w, http.StatusGatewayTimeout, "run deadline exceeded: "+err.Error())
+		s.writeError(w, http.StatusGatewayTimeout, client.CodeDeadline, "run deadline exceeded: "+err.Error())
 	case errors.Is(err, context.Canceled):
 		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, http.StatusServiceUnavailable, client.CodeCanceled, err.Error())
 	default:
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, http.StatusInternalServerError, client.CodeInternal, err.Error())
 	}
 }
 
@@ -99,16 +45,20 @@ func (s *Server) writeRunError(w http.ResponseWriter, err error) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "5")
-		s.writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		s.writeError(w, http.StatusServiceUnavailable, client.CodeDraining, ErrDraining.Error())
 		return
 	}
-	var req RunRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+	var req client.RunRequest
+	if err := client.ReadJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, client.CodeBadRequest, err.Error())
+		return
+	}
+	if err := client.CheckWireVersion(req.V); err != nil {
+		s.writeError(w, http.StatusBadRequest, client.CodeUnsupportedVersion, err.Error())
 		return
 	}
 	if err := req.Validate(); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, client.CodeBadRequest, err.Error())
 		return
 	}
 	body, src, err := s.Result(r.Context(), req.RunSpec, req.TimeoutMs)
@@ -122,39 +72,48 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSweep serves POST /v1/sweep: the whole batch is validated up
-// front (any invalid spec fails the request with 400 before any
-// simulation starts), then fanned over the worker pool; per-item
-// failures (deadline, shed load) are reported in-place so one bad cell
-// never loses the batch.
+// front (any invalid spec or wire version fails the request with 400
+// before any simulation starts), then fanned over the worker pool;
+// per-item failures (deadline, shed load) are reported in-place so one
+// bad cell never loses the batch.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "5")
-		s.writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		s.writeError(w, http.StatusServiceUnavailable, client.CodeDraining, ErrDraining.Error())
 		return
 	}
-	var req SweepRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+	var req client.SweepRequest
+	if err := client.ReadJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, client.CodeBadRequest, err.Error())
+		return
+	}
+	if err := client.CheckWireVersion(req.V); err != nil {
+		s.writeError(w, http.StatusBadRequest, client.CodeUnsupportedVersion, err.Error())
 		return
 	}
 	if len(req.Runs) == 0 {
-		s.writeError(w, http.StatusBadRequest, "empty sweep: give at least one run")
+		s.writeError(w, http.StatusBadRequest, client.CodeBadRequest, "empty sweep: give at least one run")
 		return
 	}
 	if len(req.Runs) > s.cfg.MaxSweep {
-		s.writeError(w, http.StatusBadRequest,
+		s.writeError(w, http.StatusBadRequest, client.CodeBadRequest,
 			fmt.Sprintf("sweep of %d runs exceeds the limit of %d", len(req.Runs), s.cfg.MaxSweep))
 		return
 	}
 	for i, item := range req.Runs {
+		if err := client.CheckWireVersion(item.V); err != nil {
+			s.writeError(w, http.StatusBadRequest, client.CodeUnsupportedVersion,
+				fmt.Sprintf("runs[%d]: %v", i, err))
+			return
+		}
 		if err := item.Validate(); err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("runs[%d]: %v", i, err))
+			s.writeError(w, http.StatusBadRequest, client.CodeBadRequest, fmt.Sprintf("runs[%d]: %v", i, err))
 			return
 		}
 	}
 
 	ctx := r.Context()
-	items := make([]SweepItem, len(req.Runs))
+	items := make([]client.SweepItem, len(req.Runs))
 	workers := s.cfg.MaxInflight
 	if workers > len(req.Runs) {
 		workers = len(req.Runs)
@@ -189,13 +148,13 @@ feed:
 		items[i].Hash = req.Runs[i].Hash()
 		items[i].Error = fmt.Errorf("sweep canceled: %w", ctx.Err()).Error()
 	}
-	s.writeJSON(w, http.StatusOK, SweepResponse{Results: items})
+	s.writeJSON(w, http.StatusOK, client.SweepResponse{Results: items})
 }
 
 // sweepItem runs one sweep cell, containing a panicking simulation to
 // its own item (the sweep workers sit outside the middleware's recover,
 // so without this a single bad cell would take down the process).
-func (s *Server) sweepItem(ctx context.Context, spec RunRequest) (item SweepItem) {
+func (s *Server) sweepItem(ctx context.Context, spec client.RunRequest) (item client.SweepItem) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.countPanic()
@@ -217,7 +176,7 @@ func (s *Server) sweepItem(ctx context.Context, spec RunRequest) (item SweepItem
 
 // handlePolicies serves GET /v1/policies: the Table 6 policy names.
 func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, PoliciesResponse{Policies: solarcore.Policies()})
+	s.writeJSON(w, http.StatusOK, client.PoliciesResponse{Policies: solarcore.Policies()})
 }
 
 // handleMetrics serves GET /metrics: the obs.Registry snapshot as

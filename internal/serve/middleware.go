@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"solarcore/client"
 	"solarcore/internal/obs"
 )
 
@@ -33,7 +34,8 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 
 // headerCache is the response header simulation handlers set to report
 // the cache disposition; the middleware copies it into the access log.
-const headerCache = "X-Cache"
+// The name itself belongs to the wire contract package.
+const headerCache = client.HeaderCache
 
 // countPanic records one contained panic. Both recover sites — the
 // middleware below and the sweep workers' per-item recover — go through
@@ -54,7 +56,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			if p := recover(); p != nil {
 				s.countPanic()
 				if rec.status == 0 {
-					s.writeError(rec, http.StatusInternalServerError, "internal error")
+					s.writeError(rec, http.StatusInternalServerError, client.CodeInternal, "internal error")
 				}
 			}
 			s.reg.Add(MetricRequests, 1)
@@ -93,12 +95,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorBody is the uniform error payload: {"error": "..."}.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-// writeError answers with the uniform error payload.
-func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
-	s.writeJSON(w, status, errorBody{Error: msg})
+// writeError answers with the v1 error envelope through the single
+// emitter in the wire contract package; a Retry-After header already
+// set on w is mirrored into the envelope's retry_after_ms.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	client.WriteError(w, status, code, msg)
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"solarcore"
+	"solarcore/client"
 	"solarcore/internal/obs"
 )
 
@@ -117,13 +118,72 @@ func TestHandlerValidation(t *testing.T) {
 	}
 }
 
+// TestWireVersionGate pins the mixed-fleet contract: v0 (absent) and v1
+// are served, anything else is a 400 with the unsupported_version code,
+// for both the request envelope and individual sweep cells.
+func TestWireVersionGate(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+		return fakeResult("versioned"), nil
+	}
+	for _, body := range []string{`{"step_min":8}`, `{"v":1,"step_min":8}`} {
+		if resp, data := postJSON(t, ts, "/v1/run", body); resp.StatusCode != http.StatusOK {
+			t.Errorf("run %s = %d, want 200; body: %s", body, resp.StatusCode, data)
+		}
+	}
+	cases := []struct{ path, body string }{
+		{"/v1/run", `{"v":9,"step_min":8}`},
+		{"/v1/sweep", `{"v":9,"runs":[{"step_min":8}]}`},
+		{"/v1/sweep", `{"runs":[{"v":9,"step_min":8}]}`},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, ts, tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %s = %d, want 400", tc.path, tc.body, resp.StatusCode)
+		}
+		apiErr := client.DecodeError(resp.StatusCode, resp.Header, data)
+		if apiErr.Code != client.CodeUnsupportedVersion {
+			t.Errorf("POST %s %s code = %q, want %q; body: %s",
+				tc.path, tc.body, apiErr.Code, client.CodeUnsupportedVersion, data)
+		}
+	}
+}
+
+// TestErrorEnvelopeShape pins the unified error contract: every non-2xx
+// body decodes through the single client decoder with a machine code,
+// and retryable sheds mirror Retry-After into retry_after_ms.
+func TestErrorEnvelopeShape(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1})
+	resp, data := postJSON(t, ts, "/v1/run", `{"policy":"MPPT&Bogus"}`)
+	apiErr := client.DecodeError(resp.StatusCode, resp.Header, data)
+	if resp.StatusCode != http.StatusBadRequest || apiErr.Code != client.CodeBadRequest {
+		t.Errorf("validation error = %d %q, want 400 %q", resp.StatusCode, apiErr.Code, client.CodeBadRequest)
+	}
+	if !strings.Contains(apiErr.Message, "unknown policy") {
+		t.Errorf("message %q does not carry the cause", apiErr.Message)
+	}
+
+	s.StartDrain()
+	resp, data = postJSON(t, ts, "/v1/run", `{"step_min":8}`)
+	apiErr = client.DecodeError(resp.StatusCode, resp.Header, data)
+	if resp.StatusCode != http.StatusServiceUnavailable || apiErr.Code != client.CodeDraining {
+		t.Errorf("draining error = %d %q, want 503 %q", resp.StatusCode, apiErr.Code, client.CodeDraining)
+	}
+	if apiErr.RetryAfter != 5*time.Second {
+		t.Errorf("draining RetryAfter = %v, want 5s (mirrored retry_after_ms)", apiErr.RetryAfter)
+	}
+	if !apiErr.Temporary() {
+		t.Error("draining error not Temporary")
+	}
+}
+
 func TestPoliciesEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, data := get(t, ts, "/v1/policies")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d; body: %s", resp.StatusCode, data)
 	}
-	var pr PoliciesResponse
+	var pr client.PoliciesResponse
 	if err := json.Unmarshal(data, &pr); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
@@ -432,7 +492,7 @@ func TestSweepFansOutAndReportsPerItem(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d; body: %s", resp.StatusCode, data)
 	}
-	var sr SweepResponse
+	var sr client.SweepResponse
 	if err := json.Unmarshal(data, &sr); err != nil {
 		t.Fatalf("decode: %v", err)
 	}

@@ -10,6 +10,11 @@
 #                         request count, so every request is a cache
 #                         miss running a full simulation (the fill-path
 #                         rate the hotcost budgets guard)
+#   fleet3_req_per_sec  — solarload sustained rate on the cached path
+#                         through a solargate fronting three solard
+#                         nodes (uncapped; on a single host this mostly
+#                         measures the routing hop's overhead, on real
+#                         hardware it measures scale-out)
 #   solarvet_wall_ms    — a full cold solarvet pass (parse + type-check
 #                         + all analyzers over the whole module)
 #
@@ -59,6 +64,48 @@ kill -TERM "$solard_pid"
 wait "$solard_pid" || true
 solard_pid=''
 
+echo '== fleet: solargate over 3 solard nodes (cached path)'
+go build -o "$workdir/solargate" ./cmd/solargate
+fleet_pids=''
+fleet_urls=''
+trap 'for p in $fleet_pids $solard_pid; do kill "$p" 2>/dev/null || true; done; rm -rf "$workdir"' EXIT
+for i in 1 2 3; do
+    # -queue 64: absorb the uncached warm-up burst (16 closed-loop
+    # clients + hedges) that the 1-CPU default queue would 429.
+    "$workdir/solard" -addr 127.0.0.1:0 -queue 64 > "$workdir/node$i.log" 2>&1 &
+    fleet_pids="$fleet_pids $!"
+done
+for i in 1 2 3; do
+    nurl=''
+    for _ in $(seq 1 100); do
+        nurl="$(sed -n 's/^solard: listening on //p' "$workdir/node$i.log")"
+        [ -n "$nurl" ] && break
+        sleep 0.1
+    done
+    [ -n "$nurl" ] || { echo "fleet node $i never announced"; cat "$workdir/node$i.log"; exit 1; }
+    fleet_urls="$fleet_urls$nurl,"
+done
+"$workdir/solargate" -addr 127.0.0.1:0 -backends "$fleet_urls" -hedge 250ms > "$workdir/gate.log" 2>&1 &
+solard_pid=$!
+gate_url=''
+for _ in $(seq 1 100); do
+    gate_url="$(sed -n 's/^solargate: listening on \(http[^ ]*\).*/\1/p' "$workdir/gate.log")"
+    [ -n "$gate_url" ] && break
+    kill -0 "$solard_pid" 2>/dev/null || { cat "$workdir/gate.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$gate_url" ] || { echo 'solargate never announced'; cat "$workdir/gate.log"; exit 1; }
+"$workdir/solarload" -url "$gate_url" -n 600 -c 16 -step 8 -distinct 60 > /dev/null
+"$workdir/solarload" -url "$gate_url" -n 3000 -c 16 -step 8 -distinct 60 > "$workdir/load-fleet.txt"
+fleet_s="$(sed -n 's/.*(\([0-9][0-9]*\) req\/s sustained).*/\1/p' "$workdir/load-fleet.txt")"
+[ -n "$fleet_s" ] || { echo 'fleet solarload printed no sustained rate'; cat "$workdir/load-fleet.txt"; exit 1; }
+kill -TERM "$solard_pid"
+wait "$solard_pid" || true
+solard_pid=''
+for p in $fleet_pids; do kill -TERM "$p" 2>/dev/null || true; done
+for p in $fleet_pids; do wait "$p" || true; done
+fleet_pids=''
+
 echo '== lint: cold solarvet wall time'
 go build -o "$workdir/solarvet" ./cmd/solarvet
 start_ms="$(date +%s%3N)"
@@ -72,6 +119,7 @@ cat > "$out" <<JSON
   "sim_ns_per_day": $sim_ns,
   "served_req_per_sec": $req_s,
   "uncached_req_per_sec": $uncached_s,
+  "fleet3_req_per_sec": $fleet_s,
   "solarvet_wall_ms": $vet_ms
 }
 JSON

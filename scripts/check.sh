@@ -46,9 +46,10 @@ go test ./...
 echo '== solarvet -json report (solarvet-report.json)'
 go run ./cmd/solarvet -json > solarvet-report.json
 
-echo '== go test -race (root, exp, sim, dc, obs, fault, lint, lru, serve, solarfleet)'
+echo '== go test -race (root, exp, sim, dc, obs, fault, lint, lru, serve, route, client, solarfleet, solargate)'
 go test -race . ./internal/exp ./internal/sim ./internal/dc ./internal/obs \
-    ./internal/fault ./internal/lint ./internal/lru ./internal/serve ./cmd/solarfleet
+    ./internal/fault ./internal/lint ./internal/lru ./internal/serve \
+    ./internal/route ./client ./cmd/solarfleet ./cmd/solargate
 
 echo '== fault sweep (smoke)'
 go test -run 'TestFaultSweepSensorDropout' ./internal/exp
@@ -83,5 +84,86 @@ curl -fsS -X POST -d '{"site":"AZ","season":"Jul","mix":"HM2","step_min":8}' \
 kill -TERM "$solard_pid"
 wait "$solard_pid"
 grep -q 'drained, exiting' "$logfile" || { echo 'solard did not drain cleanly'; cat "$logfile"; exit 1; }
+solard_pid=''
+
+echo '== solargate fleet smoke (3 nodes, byte-identity, >=2.2x scale-out)'
+# Every node is paced to 300 simulation requests/s (-ratelimit), so on a
+# single host the gate's throughput gain measures routing scale-out —
+# consistent hashing spreading distinct specs over three shards — rather
+# than raw CPU parallelism the machine may not have. -hedge is pinned
+# high so the cached smoke never duplicates work across nodes.
+fleet_pids=''
+fleet_urls=''
+trap 'for p in $fleet_pids $solard_pid; do kill "$p" 2>/dev/null || true; done; rm -rf "$bindir"' EXIT
+go build -o "$bindir/solargate" ./cmd/solargate
+i=0
+for i in 1 2 3; do
+    # -queue 64: the uncached warm-up runs up to 24 closed-loop clients
+    # (plus hedged duplicates) against 1-CPU nodes whose default queue of
+    # 4×GOMAXPROCS would shed the cache-fill traffic with 429s.
+    "$bindir/solard" -addr 127.0.0.1:0 -ratelimit 300 -queue 64 >"$bindir/node$i.log" 2>&1 &
+    fleet_pids="$fleet_pids $!"
+done
+for i in 1 2 3; do
+    nurl=''
+    for _ in $(seq 1 100); do
+        nurl="$(sed -n 's/^solard: listening on //p' "$bindir/node$i.log")"
+        [ -n "$nurl" ] && break
+        sleep 0.1
+    done
+    [ -n "$nurl" ] || { echo "fleet node $i never announced"; cat "$bindir/node$i.log"; exit 1; }
+    fleet_urls="$fleet_urls$nurl,"
+done
+node1="$(printf '%s' "$fleet_urls" | cut -d, -f1)"
+
+# Single-node baseline on the paced cached path. The warm-up fills the
+# cache for every distinct spec and drains the token bucket's banked
+# burst, so the measured window sees the steady 300/s, not the burst.
+# 600 distinct specs keep the per-shard key shares close to 1/3 when the
+# same population later spreads over the ring.
+"$bindir/solarload" -url "$node1" -n 900 -c 16 -step 8 -distinct 600 >/dev/null
+"$bindir/solarload" -url "$node1" -n 1200 -c 16 -step 8 -distinct 600 >"$bindir/base.txt"
+base_rps="$(sed -n 's/.*(\([0-9][0-9]*\) req\/s sustained).*/\1/p' "$bindir/base.txt")"
+[ -n "$base_rps" ] || { echo 'baseline printed no rate'; cat "$bindir/base.txt"; exit 1; }
+
+"$bindir/solargate" -addr 127.0.0.1:0 -backends "$fleet_urls" -hedge 250ms -vnodes 256 \
+    >"$bindir/gate.log" 2>&1 &
+solard_pid=$!
+gate_url=''
+for _ in $(seq 1 100); do
+    gate_url="$(sed -n 's/^solargate: listening on \(http[^ ]*\).*/\1/p' "$bindir/gate.log")"
+    [ -n "$gate_url" ] && break
+    kill -0 "$solard_pid" 2>/dev/null || { cat "$bindir/gate.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$gate_url" ] || { echo 'solargate never announced'; cat "$bindir/gate.log"; exit 1; }
+
+# Byte-identity: the same spec through the gate and asked of a node
+# directly must produce identical bytes (the engine is deterministic,
+# so any node agrees with any other).
+spec='{"site":"AZ","season":"Jul","mix":"HM2","step_min":8,"day":3}'
+curl -fsS -X POST -d "$spec" "$gate_url/v1/run" > "$bindir/via-gate.json"
+curl -fsS -X POST -d "$spec" "$node1/v1/run" > "$bindir/direct.json"
+cmp "$bindir/via-gate.json" "$bindir/direct.json" \
+    || { echo 'gate response differs from direct node response'; exit 1; }
+
+# Fleet throughput through the gate: the distinct specs hash across the
+# three shards, so the paced per-node ceilings add up.
+"$bindir/solarload" -url "$gate_url" -n 1800 -c 24 -step 8 -distinct 600 >/dev/null
+"$bindir/solarload" -url "$gate_url" -n 3600 -c 24 -step 8 -distinct 600 >"$bindir/fleet.txt"
+fleet_rps="$(sed -n 's/.*(\([0-9][0-9]*\) req\/s sustained).*/\1/p' "$bindir/fleet.txt")"
+[ -n "$fleet_rps" ] || { echo 'fleet load printed no rate'; cat "$bindir/fleet.txt"; exit 1; }
+
+echo "fleet scale-out: single node $base_rps req/s -> 3-node gate $fleet_rps req/s"
+awk -v f="$fleet_rps" -v b="$base_rps" 'BEGIN { exit !(f >= 2.2 * b) }' \
+    || { echo "fleet throughput $fleet_rps is below 2.2x the single-node $base_rps"; exit 1; }
+
+kill -TERM "$solard_pid"
+wait "$solard_pid"
+grep -q 'drained, exiting' "$bindir/gate.log" || { echo 'solargate did not drain cleanly'; cat "$bindir/gate.log"; exit 1; }
+solard_pid=''
+for p in $fleet_pids; do kill -TERM "$p" 2>/dev/null || true; done
+for p in $fleet_pids; do wait "$p" || true; done
+fleet_pids=''
 
 echo 'OK'
