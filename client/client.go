@@ -192,5 +192,10 @@ func (c *Client) do(ctx context.Context, method, path string, payload any) (*htt
 	if err != nil {
 		return nil, nil, fmt.Errorf("client: read response: %w", err)
 	}
+	// Verify end-to-end integrity when the server declared a checksum:
+	// a body that does not match is never surfaced as a success.
+	if err := CheckBodySum(resp.Header.Get(HeaderBodySum), body); err != nil {
+		return nil, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
 	return resp, body, nil
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -65,6 +66,130 @@ func TestDecodeErrorFallbacks(t *testing.T) {
 	}
 	if e.Temporary() {
 		t.Error("405 reported Temporary")
+	}
+}
+
+// TestTemporaryByStatus pins the full retryability table: server-side
+// pressure and transport trouble are temporary, client mistakes are not.
+func TestTemporaryByStatus(t *testing.T) {
+	cases := map[int]bool{
+		http.StatusBadRequest:            false,
+		http.StatusNotFound:              false,
+		http.StatusMethodNotAllowed:      false,
+		http.StatusRequestEntityTooLarge: false,
+		http.StatusTooManyRequests:       true,
+		http.StatusInternalServerError:   true,
+		http.StatusBadGateway:            true,
+		http.StatusServiceUnavailable:    true,
+		http.StatusGatewayTimeout:        true,
+	}
+	for status, want := range cases {
+		e := &APIError{Status: status}
+		if got := e.Temporary(); got != want {
+			t.Errorf("Temporary(%d) = %t, want %t", status, got, want)
+		}
+	}
+}
+
+// TestDecodeErrorEdgeCases covers the decoder against hostile and
+// degenerate bodies: it must always produce a usable *APIError and a
+// bounded, non-negative retry hint.
+func TestDecodeErrorEdgeCases(t *testing.T) {
+	day := 24 * 60 * 60 * 1000 // ms
+	cases := []struct {
+		name      string
+		status    int
+		header    http.Header
+		body      string
+		wantCode  string
+		wantMsg   string
+		wantRetry time.Duration
+	}{
+		{"empty body", 503, nil, "", "http_503", "", 0},
+		{"malformed envelope", 500, nil, `{"error":{`, "http_500", `{"error":{`, 0},
+		{"non-JSON 5xx", 502, nil, "<html>Bad Gateway</html>", "http_502", "<html>Bad Gateway</html>", 0},
+		{"envelope without code", 500, nil, `{"error":{"message":"m"}}`, "http_500", `{"error":{"message":"m"}}`, 0},
+		{"wrong-type retry field", 429, nil, `{"error":{"code":"overloaded","retry_after_ms":"soon"}}`,
+			"http_429", `{"error":{"code":"overloaded","retry_after_ms":"soon"}}`, 0},
+		{"negative retry", 429, nil, `{"error":{"code":"overloaded","retry_after_ms":-5000}}`,
+			"overloaded", "", 0},
+		{"overflowing retry", 429, nil,
+			// 2^63/1e6 ≈ 9.22e12 ms is where Duration math would wrap; send more.
+			`{"error":{"code":"overloaded","retry_after_ms":9300000000000}}`,
+			"overloaded", "", 24 * time.Hour},
+		{"capped retry", 429, nil,
+			`{"error":{"code":"overloaded","retry_after_ms":` + strconv.Itoa(2*day) + `}}`,
+			"overloaded", "", 24 * time.Hour},
+		{"huge Retry-After header", 503, http.Header{"Retry-After": []string{"99999999999999999"}},
+			"", "", "", 24 * time.Hour},
+	}
+	for _, c := range cases {
+		e := DecodeError(c.status, c.header, []byte(c.body))
+		if e.Status != c.status {
+			t.Errorf("%s: Status = %d", c.name, e.Status)
+		}
+		if c.wantCode != "" && e.Code != c.wantCode {
+			t.Errorf("%s: Code = %q, want %q", c.name, e.Code, c.wantCode)
+		}
+		if c.wantMsg != "" && e.Message != c.wantMsg {
+			t.Errorf("%s: Message = %q, want %q", c.name, e.Message, c.wantMsg)
+		}
+		if e.RetryAfter != c.wantRetry {
+			t.Errorf("%s: RetryAfter = %v, want %v", c.name, e.RetryAfter, c.wantRetry)
+		}
+		if e.RetryAfter < 0 {
+			t.Errorf("%s: negative RetryAfter %v", c.name, e.RetryAfter)
+		}
+	}
+}
+
+func TestBodySumRoundTrip(t *testing.T) {
+	body := []byte(`{"solar_wh":400.125}`)
+	sum := BodySum(body)
+	if !strings.HasPrefix(sum, "crc32c:") || len(sum) != len("crc32c:")+8 {
+		t.Fatalf("BodySum = %q, want crc32c:<8 hex>", sum)
+	}
+	if err := CheckBodySum(sum, body); err != nil {
+		t.Errorf("matching sum rejected: %v", err)
+	}
+	if err := CheckBodySum("", body); err != nil {
+		t.Errorf("absent header rejected: %v", err)
+	}
+	if err := CheckBodySum("sha256:deadbeef", body); err != nil {
+		t.Errorf("unknown algorithm rejected: %v", err)
+	}
+	mutated := append([]byte(nil), body...)
+	mutated[5] ^= 0x01
+	err := CheckBodySum(sum, mutated)
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("corrupt body passed: %v", err)
+	}
+	if !ie.Temporary() {
+		t.Error("IntegrityError not Temporary; fail-over would not retry it")
+	}
+	if !strings.Contains(ie.Error(), ie.Want) {
+		t.Errorf("Error() = %q omits the expected sum", ie.Error())
+	}
+}
+
+// TestClientRejectsCorruptBody pins the end-to-end behavior: a 200 whose
+// body does not match its X-Body-Sum surfaces as *IntegrityError, never
+// as a successful RunResult.
+func TestClientRejectsCorruptBody(t *testing.T) {
+	good := []byte(`{"label":"intact"}`)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set(HeaderBodySum, BodySum(good))
+		_, _ = w.Write([]byte(`{"label":"corrupt"}`)) // same length, wrong bytes
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.Run(context.Background(), RunRequest{})
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("corrupt 200 returned err = %v, want *IntegrityError", err)
 	}
 }
 

@@ -41,7 +41,7 @@ const (
 type wireError struct {
 	Code         string `json:"code"`
 	Message      string `json:"message"`
-	RetryAfterMs int    `json:"retry_after_ms,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 }
 
 // errorEnvelope is the uniform non-2xx response body.
@@ -77,6 +77,42 @@ func (e *APIError) Temporary() bool {
 	return false
 }
 
+// IntegrityError reports a response whose body failed its HeaderBodySum
+// check: the bytes on the wire are not the bytes the server computed.
+// It is temporary by construction — the engine is deterministic, so any
+// other replica (or a plain retry) reproduces the result byte for byte,
+// and the router's fail-over treats it like a transport failure.
+type IntegrityError struct {
+	// Got is the checksum of the bytes received; Want the server's claim.
+	Got, Want string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("response body failed integrity check: got %s, want %s", e.Got, e.Want)
+}
+
+// Temporary reports true: a corrupt delivery is always worth retrying.
+func (e *IntegrityError) Temporary() bool { return true }
+
+// maxRetryAfter caps the decoded retry hint. An attacker-controlled (or
+// simply buggy) retry_after_ms must not park a well-behaved client for
+// a week — and a value large enough to overflow the millisecond
+// multiplication must not wrap into the past.
+const maxRetryAfter = 24 * time.Hour
+
+// clampRetryAfter maps a wire retry hint in milliseconds onto
+// [0, maxRetryAfter]: negatives (including overflow wraparound) clamp
+// to zero, oversized hints to the cap.
+func clampRetryAfter(ms int64) time.Duration {
+	if ms <= 0 {
+		return 0
+	}
+	if ms > int64(maxRetryAfter/time.Millisecond) {
+		return maxRetryAfter
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
 // WriteError emits the v1 error envelope — the single server-side error
 // writer; internal/serve and internal/route both route every non-2xx
 // body through it. A Retry-After header already set on w (whole
@@ -84,10 +120,10 @@ func (e *APIError) Temporary() bool {
 // clients get the hint without header parsing. A late encode failure
 // cannot reach the client (the header is out) and is dropped.
 func WriteError(w http.ResponseWriter, status int, code, msg string) {
-	ms := 0
+	var ms int64
 	if ra := w.Header().Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-			ms = secs * 1000
+			ms = int64(secs) * 1000
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -106,13 +142,17 @@ func DecodeError(status int, header http.Header, body []byte) *APIError {
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
 		e.Code = env.Error.Code
 		e.Message = env.Error.Message
-		e.RetryAfter = time.Duration(env.Error.RetryAfterMs) * time.Millisecond
+		e.RetryAfter = clampRetryAfter(env.Error.RetryAfterMs)
 	} else {
 		e.Message = strings.TrimSpace(string(body))
 	}
 	if e.RetryAfter == 0 {
 		if secs, err := strconv.Atoi(header.Get("Retry-After")); err == nil && secs > 0 {
-			e.RetryAfter = time.Duration(secs) * time.Second
+			if int64(secs) > int64(maxRetryAfter/time.Second) {
+				e.RetryAfter = maxRetryAfter
+			} else {
+				e.RetryAfter = time.Duration(secs) * time.Second
+			}
 		}
 	}
 	return e

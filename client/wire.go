@@ -17,7 +17,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net/http"
+	"strings"
 
 	"solarcore"
 )
@@ -95,7 +97,42 @@ const (
 	HeaderRoute = "X-Gate"
 	// HeaderBackend names the backend that produced the response.
 	HeaderBackend = "X-Gate-Backend"
+	// HeaderBodySum carries a CRC32-C of the response body
+	// ("crc32c:<8 hex digits>"), set by solard on /v1/run and verified by
+	// the Client. HTTP has no payload integrity of its own, so without
+	// this a single flipped bit in transit (or in a buggy middlebox)
+	// would be delivered as a perfectly well-formed 200. A mismatch
+	// surfaces as *IntegrityError — temporary, so the router's fail-over
+	// recomputes on another replica (the engine is deterministic; every
+	// replica produces byte-identical results).
+	HeaderBodySum = "X-Body-Sum"
 )
+
+// bodySumPrefix names the checksum algorithm inside HeaderBodySum; an
+// unknown prefix is ignored (forward compatibility), a known prefix
+// with a wrong digest is an integrity failure.
+const bodySumPrefix = "crc32c:"
+
+// castagnoli is the CRC32-C table shared by BodySum and CheckBodySum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BodySum computes the HeaderBodySum value for a response body.
+func BodySum(body []byte) string {
+	return fmt.Sprintf("%s%08x", bodySumPrefix, crc32.Checksum(body, castagnoli))
+}
+
+// CheckBodySum verifies body against a HeaderBodySum value. An empty
+// header (old server) or an unknown algorithm prefix passes; a crc32c
+// header that does not match returns a *IntegrityError.
+func CheckBodySum(header string, body []byte) error {
+	if header == "" || !strings.HasPrefix(header, bodySumPrefix) {
+		return nil
+	}
+	if got := BodySum(body); got != header {
+		return &IntegrityError{Got: got, Want: header}
+	}
+	return nil
+}
 
 // HeaderRoute values.
 const (

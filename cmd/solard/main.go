@@ -6,7 +6,8 @@
 // Usage:
 //
 //	solard [-addr 127.0.0.1:8090] [-inflight 0] [-queue 0] [-cache 1024] \
-//	       [-timeout 30s] [-grace 10s] [-access path|-] [-ratelimit 0]
+//	       [-timeout 30s] [-grace 10s] [-access path|-] [-ratelimit 0] \
+//	       [-store.dir /abs/path] [-store.maxbytes 268435456]
 //
 // Endpoints:
 //
@@ -22,7 +23,17 @@
 // (obs.AccessEvent; "-" for stdout). -ratelimit N paces the simulation
 // routes (POST /v1/*) to at most N requests per second through a token
 // bucket — the fleet smoke test uses it to measure solargate's scale-out
-// on a single host, and it doubles as a per-node admission throttle. On
+// on a single host, and it doubles as a per-node admission throttle.
+//
+// -store.dir enables the crash-safe durable result store (internal/
+// store, DESIGN.md §16): completed results persist to that directory
+// and survive kill -9, so a restarted node replays them byte-
+// identically instead of re-simulating. The path must be absolute — a
+// relative path would silently depend on the launch directory, and two
+// launches from different places would look like an empty cache.
+// -store.maxbytes caps the store's disk footprint (default 256 MiB;
+// oldest records are evicted first) and must be positive. The boot
+// warm start is announced as "solard: store warmed ...". On
 // SIGINT/SIGTERM the server drains: /healthz starts failing, new
 // simulations are refused, both with Retry-After, in-flight requests
 // finish (bounded by -grace), and the process exits 0.
@@ -37,12 +48,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"solarcore/internal/obs"
 	"solarcore/internal/serve"
 	"solarcore/internal/sigctx"
+	"solarcore/internal/store"
 )
 
 func main() {
@@ -112,6 +125,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
 	access := fs.String("access", "", "JSONL access-log path (\"-\" = stdout, empty = off)")
 	ratelimit := fs.Int("ratelimit", 0, "max simulation requests per second (0 = unlimited)")
+	storeDir := fs.String("store.dir", "", "durable result-store directory, absolute path (empty = off)")
+	storeMax := fs.Int64("store.maxbytes", store.DefaultMaxBytes, "durable-store disk budget in bytes")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -123,6 +138,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *ratelimit < 0 {
 		return fail(stderr, "-ratelimit must be >= 0")
+	}
+	if *storeDir != "" && !filepath.IsAbs(*storeDir) {
+		return fail(stderr, "-store.dir must be an absolute path, got %q", *storeDir)
+	}
+	if *storeMax < 1 {
+		return fail(stderr, "-store.maxbytes must be at least 1 byte")
 	}
 
 	var sink *obs.JSONLSink
@@ -139,11 +160,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sink = obs.NewJSONLSink(f)
 	}
 
+	// One registry shared by the server and the store, so /metrics
+	// exports serve_* and store_* side by side.
+	reg := obs.NewRegistry()
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Config{
+			Dir:      *storeDir,
+			MaxBytes: *storeMax,
+			Registry: reg,
+			Events:   sink,
+			Clock:    time.Now,
+		})
+		if err != nil {
+			return fail(stderr, "%v", err)
+		}
+		records, quarantined, ms := st.WarmStart()
+		pf(stdout, "solard: store warmed %d records (%d bytes, %d quarantined) in %.1fms from %s\n",
+			records, st.Bytes(), quarantined, ms, *storeDir)
+	}
+
 	srv := serve.New(serve.Config{
 		MaxInflight:  *inflight,
 		MaxQueue:     *queue,
 		CacheEntries: *cache,
 		RunTimeout:   *timeout,
+		Registry:     reg,
+		Store:        st,
 		AccessLog:    sink,
 		Clock:        time.Now,
 	})
@@ -166,6 +210,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case err := <-served:
 		// Serve only returns on failure here (Shutdown is the other exit,
 		// taken below).
+		if st != nil {
+			_ = st.Close()
+		}
 		return fail(stderr, "%v", err)
 	case <-ctx.Done():
 	}
@@ -184,6 +231,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := srv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 		pf(stderr, "solard: close: %v\n", err)
 		code = 1
+	}
+	// Store last: a clean shutdown writes the recency journal so the
+	// next boot warm-starts in LRU order (a crash skips this and the
+	// store degrades to cold-but-correct).
+	if st != nil {
+		if err := st.Close(); err != nil {
+			pf(stderr, "solard: store close: %v\n", err)
+			code = 1
+		}
 	}
 	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		pf(stderr, "solard: serve: %v\n", err)

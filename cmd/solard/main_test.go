@@ -37,6 +37,10 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		{"-timeout", "0s"},
 		{"-grace", "-1s"},
 		{"-ratelimit", "-1"},
+		{"-store.dir", "relative/path"},
+		{"-store.dir", "./cache"},
+		{"-store.maxbytes", "0"},
+		{"-store.maxbytes", "-5"},
 	}
 	for _, args := range cases {
 		var out, errw syncBuffer
@@ -46,10 +50,111 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 	}
 }
 
+// TestStoreFlagValidationMessages pins the rejection text: a relative
+// store dir or a zero byte budget must fail with an actionable message
+// before any listener binds.
+func TestStoreFlagValidationMessages(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-store.dir", "relative/path"}, "absolute path"},
+		{[]string{"-store.maxbytes", "0"}, "at least 1 byte"},
+	}
+	for _, c := range cases {
+		var out, errw syncBuffer
+		if code := run(context.Background(), c.args, &out, &errw); code == 0 {
+			t.Errorf("run(%v) = 0, want non-zero", c.args)
+		}
+		if !strings.Contains(errw.String(), c.want) {
+			t.Errorf("run(%v) stderr = %q, want mention of %q", c.args, errw.String(), c.want)
+		}
+	}
+}
+
 func TestUnbindableAddrExitsNonZero(t *testing.T) {
 	var out, errw syncBuffer
 	if code := run(context.Background(), []string{"-addr", "256.0.0.1:1"}, &out, &errw); code == 0 {
 		t.Error("run with an unbindable address returned 0")
+	}
+}
+
+// bootSolard starts run() with args, waits for the announce line and
+// returns the base URL plus a stop func that cancels and asserts a
+// clean exit.
+func bootSolard(t *testing.T, args []string, out, errw *syncBuffer) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, args, out, errw) }()
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("server never announced its address; stdout: %q stderr: %q", out.String(), errw.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "solard: listening on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return base, func() {
+		cancel()
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0; stderr: %q", code, errw.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("server did not exit after cancellation")
+		}
+	}
+}
+
+// TestStoreBackedRestartLifecycle is the durability walkthrough at the
+// binary level: generation 1 computes a result into -store.dir and
+// drains; generation 2 announces a warm start and serves the same spec
+// byte-identically as a cache hit without re-simulating.
+func TestStoreBackedRestartLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full server lifecycles with a real simulation")
+	}
+	dir := t.TempDir() // absolute by construction
+	const spec = `{"step_min":8,"day":3}`
+
+	var out1, err1 syncBuffer
+	base1, stop1 := bootSolard(t, []string{"-addr", "127.0.0.1:0", "-grace", "5s", "-store.dir", dir}, &out1, &err1)
+	resp1, err := http.Post(base1+"/v1/run", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("gen1 run: %v", err)
+	}
+	body1, _ := io.ReadAll(resp1.Body)
+	_ = resp1.Body.Close()
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("gen1 run status = %d: %s", resp1.StatusCode, body1)
+	}
+	stop1()
+
+	var out2, err2 syncBuffer
+	base2, stop2 := bootSolard(t, []string{"-addr", "127.0.0.1:0", "-grace", "5s", "-store.dir", dir}, &out2, &err2)
+	defer stop2()
+	if !strings.Contains(out2.String(), "store warmed 1 records") {
+		t.Errorf("gen2 did not announce its warm start; stdout: %q", out2.String())
+	}
+	resp2, err := http.Post(base2+"/v1/run", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("gen2 run: %v", err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	_ = resp2.Body.Close()
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("gen2 X-Cache = %q, want hit (durable replay)", got)
+	}
+	if !strings.Contains(string(body2), string(body1)) && string(body1) != string(body2) {
+		t.Errorf("gen2 body differs from gen1:\n%s\nvs\n%s", body2, body1)
 	}
 }
 

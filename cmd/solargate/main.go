@@ -8,8 +8,8 @@
 //	solargate -backends http://h1:8090,http://h2:8090[,...] \
 //	          [-addr 127.0.0.1:8099] [-vnodes 64] [-hedge 0] \
 //	          [-hedge-min 25ms] [-hedge-max 500ms] [-retries 2] \
-//	          [-probe 500ms] [-fail 3] [-sweepmax 256] [-grace 10s] \
-//	          [-access path|-]
+//	          [-probe 500ms] [-probe-jitter 0.2] [-fail 3] [-sweepmax 256] \
+//	          [-grace 10s] [-access path|-] [-checkpoint.dir /abs/path]
 //
 // Endpoints (identical shapes to solard, plus routing headers):
 //
@@ -22,8 +22,14 @@
 //
 // -hedge 0 (the default) derives the hedge delay from the live p95 of
 // upstream latencies, clamped to [-hedge-min, -hedge-max]; a positive
-// -hedge fixes it. The bound address is printed as "solargate:
-// listening on http://HOST:PORT". On SIGINT/SIGTERM the gate drains
+// -hedge fixes it. -probe-jitter spreads each probe period over
+// ±fraction of -probe (deterministically seeded) so a fleet of gates
+// restarted together does not probe in lockstep; negative pins the
+// period exactly. -checkpoint.dir (absolute path) makes sweeps
+// durable: completed cells are journaled per sweep, and an identical
+// batch re-submitted after a crash resumes from the journal instead of
+// recomputing finished cells (DESIGN.md §16). The bound address is
+// printed as "solargate: listening on http://HOST:PORT". On SIGINT/SIGTERM the gate drains
 // like solard: /healthz fails, new work is refused with Retry-After,
 // in-flight requests finish under -grace, exit 0.
 package main
@@ -37,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -76,10 +83,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	hedgeMax := fs.Duration("hedge-max", 500*time.Millisecond, "adaptive hedge delay ceiling")
 	retries := fs.Int("retries", 2, "max fail-over retries per request")
 	probe := fs.Duration("probe", 500*time.Millisecond, "health probe interval")
+	probeJitter := fs.Float64("probe-jitter", 0.2, "probe period spread as a fraction of -probe (negative = pinned)")
 	failN := fs.Int("fail", 3, "consecutive probe failures before ejection")
 	sweepMax := fs.Int("sweepmax", 256, "max runs per sweep batch")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
 	access := fs.String("access", "", "JSONL access-log path (\"-\" = stdout, empty = off)")
+	ckptDir := fs.String("checkpoint.dir", "", "sweep checkpoint directory, absolute path (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -110,6 +119,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *sweepMax < 1 {
 		return fail(stderr, "-sweepmax must be at least 1")
 	}
+	if *probeJitter > 0.9 {
+		return fail(stderr, "-probe-jitter must be at most 0.9 (got %v)", *probeJitter)
+	}
+	if *ckptDir != "" && !filepath.IsAbs(*ckptDir) {
+		return fail(stderr, "-checkpoint.dir must be an absolute path, got %q", *ckptDir)
+	}
 
 	var sink *obs.JSONLSink
 	switch *access {
@@ -133,8 +148,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		HedgeMax:      *hedgeMax,
 		MaxRetries:    *retries,
 		ProbeInterval: *probe,
+		ProbeJitter:   *probeJitter,
 		FailThreshold: *failN,
 		MaxSweep:      *sweepMax,
+		CheckpointDir: *ckptDir,
 		AccessLog:     sink,
 		Clock:         time.Now,
 	})

@@ -47,11 +47,34 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		{"-backends", "http://a", "-sweepmax", "0"},
 		{"-backends", "http://a", "-grace", "0s"},
 		{"-backends", "http://a,http://a"}, // duplicate (route.New rejects)
+		{"-backends", "http://a", "-checkpoint.dir", "relative/ckpt"},
+		{"-backends", "http://a", "-probe-jitter", "1.5"},
 	}
 	for _, args := range cases {
 		var out, errw syncBuffer
 		if code := run(context.Background(), args, &out, &errw); code == 0 {
 			t.Errorf("run(%v) = 0, want non-zero", args)
+		}
+	}
+}
+
+// TestFlagValidationMessages pins that the new robustness flags reject
+// bad values with an actionable message, not a silent misconfiguration.
+func TestFlagValidationMessages(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-backends", "http://a", "-checkpoint.dir", "ckpt"}, "absolute path"},
+		{[]string{"-backends", "http://a", "-probe-jitter", "2"}, "at most 0.9"},
+	}
+	for _, c := range cases {
+		var out, errw syncBuffer
+		if code := run(context.Background(), c.args, &out, &errw); code == 0 {
+			t.Errorf("run(%v) = 0, want non-zero", c.args)
+		}
+		if !strings.Contains(errw.String(), c.want) {
+			t.Errorf("run(%v) stderr = %q, want mention of %q", c.args, errw.String(), c.want)
 		}
 	}
 }

@@ -1,0 +1,484 @@
+// Package chaos is the serving fleet's adversarial-conditions layer: a
+// stdlib-only TCP proxy that injects deterministic, schedule-driven
+// network faults between a client and one backend. internal/fault plays
+// this role for the physics (clouds, sensor dropouts, converter
+// faults); chaos plays it for the wire (DESIGN.md §16) — connection
+// resets, added latency, response truncation, in-flight byte corruption
+// and full partitions — so the robustness claims of serve, route,
+// store and client are tested against the failures they exist for,
+// not just against healthy sockets.
+//
+// The design mirrors fault deliberately:
+//
+//   - a Rule is active over a half-open window — here measured in
+//     accepted-connection ordinals rather than simulation minutes —
+//     with a probability knob P where zero is exactly a no-op;
+//   - all randomness is seeded: each connection derives its generator
+//     from (Config.Seed, ordinal) via splitmix64, so a chaos run
+//     replays identically regardless of goroutine interleaving;
+//   - a compact spec grammar (ParseSpec) mirrors fault.ParseSpec, e.g.
+//     "corrupt:from=0,to=100,p=0.5;partition:from=100,to=200,p=1".
+//
+// The proxy never parses HTTP beyond locating the header/body boundary
+// (so corruption can target bodies, the case checksums must catch);
+// everything else is byte-level, which keeps the fault model honest.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rule kinds.
+const (
+	// KindReset forwards roughly half of the response, then destroys the
+	// client connection with an RST — the classic mid-body reset.
+	KindReset = "reset"
+	// KindLatency delays the response relay by Latency plus a uniform
+	// jitter in [0, Jitter].
+	KindLatency = "latency"
+	// KindTruncate relays only Bytes response bytes, then closes cleanly
+	// — the Content-Length mismatch surfaces client-side as an
+	// unexpected EOF.
+	KindTruncate = "truncate"
+	// KindCorrupt flips one random bit in the response body (past the
+	// first blank line, so HTTP framing survives and only checksums can
+	// catch it).
+	KindCorrupt = "corrupt"
+	// KindPartition black-holes matching connections — accepted, bytes
+	// swallowed, nothing ever answered — the shape of a network
+	// partition, where packets vanish rather than bounce. This is the
+	// fault hedging exists for: only a timer can detect it.
+	KindPartition = "partition"
+)
+
+// Kinds lists the rule kinds ParseSpec accepts.
+func Kinds() []string {
+	return []string{KindReset, KindLatency, KindTruncate, KindCorrupt, KindPartition}
+}
+
+// Rule is one scheduled wire disturbance, active for connections whose
+// accept ordinal falls in [From, To) and that win the P coin flip.
+type Rule struct {
+	// Kind is one of the Kind* constants.
+	Kind string
+	// From / To bound the half-open activity window in accepted-
+	// connection ordinals (0-based).
+	From, To int
+	// P is the per-connection injection probability in [0,1]; zero is
+	// exactly a no-op, mirroring fault's Intensity convention.
+	P float64
+	// Latency / Jitter shape KindLatency (fixed floor + uniform extra).
+	Latency, Jitter time.Duration
+	// Bytes is KindTruncate's relay budget (default 64).
+	Bytes int
+}
+
+// contains reports whether the rule's window covers ordinal.
+func (r Rule) contains(ordinal int) bool { return ordinal >= r.From && ordinal < r.To }
+
+// validate checks one rule the way fault validates schedule entries.
+func (r Rule) validate() error {
+	known := false
+	for _, k := range Kinds() {
+		if r.Kind == k {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("chaos: unknown kind %q (known: %s)", r.Kind, strings.Join(Kinds(), ", "))
+	}
+	if r.To <= r.From {
+		return fmt.Errorf("chaos: %s window [%d,%d) is empty", r.Kind, r.From, r.To)
+	}
+	if r.P < 0 || r.P > 1 {
+		return fmt.Errorf("chaos: %s probability %v outside [0,1]", r.Kind, r.P)
+	}
+	return nil
+}
+
+// Config tunes a Proxy. Target is required.
+type Config struct {
+	// Target is the backend address (host:port) faulted traffic is
+	// relayed to.
+	Target string
+	// Rules is the fault schedule; an empty schedule relays faithfully.
+	Rules []Rule
+	// Seed feeds the per-connection randomness (default 1).
+	Seed int64
+}
+
+// Proxy is one listening fault injector. Build with New, point clients
+// at Addr, Close when done.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	ordinal atomic.Int64
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New validates cfg, binds a loopback listener and starts accepting.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("chaos: Config.Target is required")
+	}
+	for _, r := range cfg.Rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{cfg: cfg, ln: ln, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's dialable address (127.0.0.1:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy as an http base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Ordinals reports how many connections have been accepted so far.
+func (p *Proxy) Ordinals() int { return int(p.ordinal.Load()) }
+
+// Close stops accepting, severs every live connection and waits for the
+// relay goroutines to drain.
+func (p *Proxy) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		_ = p.ln.Close()
+		// Snapshot under the lock, sever outside it: Close on a TCP conn
+		// can block and must not run inside the critical section.
+		p.mu.Lock()
+		conns := make([]net.Conn, 0, len(p.conns))
+		for c := range p.conns {
+			conns = append(conns, c)
+		}
+		p.mu.Unlock()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	})
+	p.wg.Wait()
+	return nil
+}
+
+// track registers a live connection for Close-time severing; the
+// returned func unregisters it.
+func (p *Proxy) track(c net.Conn) func() {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}
+}
+
+// acceptLoop owns the listener; it exits when Close closes it.
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			// Transient accept failure: there is no backoff worth having on
+			// a loopback test proxy, and a dead listener errors every call,
+			// so bail out either way.
+			return
+		}
+		ord := int(p.ordinal.Add(1)) - 1
+		p.wg.Add(1)
+		go p.handle(conn, ord)
+	}
+}
+
+// splitmix64 is the same seed scrambler fault uses: full-avalanche, so
+// consecutive ordinals draw unrelated streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// plan is the faults drawn for one connection.
+type plan struct {
+	partition bool
+	reset     bool
+	latency   time.Duration
+	truncate  int // 0: no truncation
+	corrupt   bool
+	rng       *rand.Rand
+}
+
+// planFor draws the connection's fault plan. Rules are consulted in
+// declaration order against one deterministic per-connection stream.
+func (p *Proxy) planFor(ordinal int) plan {
+	rng := rand.New(rand.NewSource(int64(splitmix64(uint64(p.cfg.Seed) ^ uint64(ordinal)))))
+	pl := plan{rng: rng}
+	for _, r := range p.cfg.Rules {
+		// Draw unconditionally so the stream position — and therefore the
+		// whole replay — depends only on (seed, ordinal, rule order).
+		hit := rng.Float64() < r.P
+		if !r.contains(ordinal) || !hit {
+			continue
+		}
+		switch r.Kind {
+		case KindPartition:
+			pl.partition = true
+		case KindReset:
+			pl.reset = true
+		case KindLatency:
+			d := r.Latency
+			if r.Jitter > 0 {
+				d += time.Duration(rng.Int63n(int64(r.Jitter) + 1))
+			}
+			pl.latency += d
+		case KindTruncate:
+			b := r.Bytes
+			if b <= 0 {
+				b = 64
+			}
+			pl.truncate = b
+		case KindCorrupt:
+			pl.corrupt = true
+		}
+	}
+	return pl
+}
+
+// handle relays one client connection through its fault plan.
+func (p *Proxy) handle(client net.Conn, ordinal int) {
+	defer p.wg.Done()
+	untrack := p.track(client)
+	defer untrack()
+	defer func() { _ = client.Close() }()
+
+	pl := p.planFor(ordinal)
+	if pl.partition {
+		// Black hole: swallow whatever the client sends and answer
+		// nothing. Copy returns when the client gives up (hedge winner
+		// canceling the request closes its conn) or Close severs us.
+		_, _ = io.Copy(io.Discard, client)
+		return
+	}
+	server, err := net.Dial("tcp", p.cfg.Target)
+	if err != nil {
+		abort(client)
+		return
+	}
+	untrackS := p.track(server)
+	defer untrackS()
+	defer func() { _ = server.Close() }()
+
+	// Request path relays untouched; its end half-closes the server side
+	// so the backend sees EOF exactly when the client stops sending.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_, _ = io.Copy(server, client)
+		if tc, ok := server.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+
+	if pl.latency > 0 && !p.sleep(pl.latency) {
+		return
+	}
+	var dst io.Writer = client
+	if pl.corrupt {
+		dst = &corruptWriter{w: dst, rng: pl.rng}
+	}
+	switch {
+	case pl.reset:
+		// Relay a prefix, then RST mid-body.
+		_, _ = io.CopyN(dst, server, 512)
+		abort(client)
+	case pl.truncate > 0:
+		_, _ = io.CopyN(dst, server, int64(pl.truncate))
+	default:
+		_, _ = io.Copy(dst, server)
+	}
+}
+
+// sleep waits d or until the proxy closes; it reports whether the full
+// delay elapsed.
+func (p *Proxy) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// abort destroys a TCP connection with an RST instead of a FIN, the
+// shape of a crashed peer.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+// corruptWriter flips exactly one bit of the response body: it passes
+// the HTTP header section through untouched (so the status line and
+// framing survive) and flips a random bit in the first body chunk it
+// sees. One flipped bit is the minimal corruption — anything that
+// catches it catches worse.
+type corruptWriter struct {
+	w       io.Writer
+	rng     *rand.Rand
+	inBody  bool
+	flipped bool
+	tail    [3]byte // last bytes seen, for a boundary-spanning \r\n\r\n
+	tailN   int
+}
+
+func (cw *corruptWriter) Write(b []byte) (int, error) {
+	if cw.flipped {
+		return cw.w.Write(b)
+	}
+	if !cw.inBody {
+		// Find the header terminator across chunk boundaries.
+		joined := append(append([]byte{}, cw.tail[:cw.tailN]...), b...)
+		if i := strings.Index(string(joined), "\r\n\r\n"); i >= 0 {
+			cw.inBody = true
+			bodyStart := i + 4 - cw.tailN // index into b
+			if bodyStart < 0 {
+				bodyStart = 0
+			}
+			if bodyStart < len(b) {
+				return cw.flipAndWrite(b, bodyStart)
+			}
+			return cw.w.Write(b)
+		}
+		keep := len(joined)
+		if keep > 3 {
+			keep = 3
+		}
+		copy(cw.tail[:], joined[len(joined)-keep:])
+		cw.tailN = keep
+		return cw.w.Write(b)
+	}
+	if len(b) > 0 {
+		return cw.flipAndWrite(b, 0)
+	}
+	return cw.w.Write(b)
+}
+
+// flipAndWrite writes b with one bit flipped at or after offset.
+func (cw *corruptWriter) flipAndWrite(b []byte, offset int) (int, error) {
+	out := append([]byte(nil), b...)
+	idx := offset + cw.rng.Intn(len(b)-offset)
+	out[idx] ^= 1 << uint(cw.rng.Intn(8))
+	cw.flipped = true
+	n, err := cw.w.Write(out)
+	if n > len(b) {
+		n = len(b)
+	}
+	return n, err
+}
+
+// ParseSpec parses the compact chaos-schedule grammar, mirroring
+// fault.ParseSpec:
+//
+//	spec  := entry (';' entry)*
+//	entry := kind ':' field (',' field)*
+//	field := ('from'|'to'|'p'|'ms'|'jms'|'bytes') '=' number
+//
+// e.g. "corrupt:from=0,to=100,p=0.5;partition:from=100,to=200,p=1".
+// ms/jms are KindLatency's floor and jitter in milliseconds, bytes is
+// KindTruncate's budget. Whitespace around tokens is ignored; an empty
+// spec is an empty schedule. Errors name the offending token.
+func ParseSpec(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, fields, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("chaos: entry %q has no ':' (want kind:field,...)", entry)
+		}
+		r := Rule{Kind: strings.TrimSpace(kind)}
+		for _, f := range strings.Split(fields, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("chaos: field %q has no '=' in entry %q", f, entry)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			switch key {
+			case "p":
+				x, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: bad p=%q in %q", val, entry)
+				}
+				r.P = x
+			case "from", "to", "ms", "jms", "bytes":
+				x, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: bad %s=%q in %q", key, val, entry)
+				}
+				switch key {
+				case "from":
+					r.From = x
+				case "to":
+					r.To = x
+				case "ms":
+					r.Latency = time.Duration(x) * time.Millisecond
+				case "jms":
+					r.Jitter = time.Duration(x) * time.Millisecond
+				case "bytes":
+					r.Bytes = x
+				}
+			default:
+				return nil, fmt.Errorf("chaos: unknown field %q in %q", key, entry)
+			}
+		}
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}

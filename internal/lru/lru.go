@@ -43,9 +43,16 @@ func NewWithEvict[K comparable, V any](capacity int, onEvict func(K, V)) *Cache[
 	if capacity < 1 {
 		panic("lru: capacity must be at least 1")
 	}
+	hint := capacity
+	if hint > 1024 {
+		// The map grows on demand; a huge capacity (internal/store bounds
+		// by bytes, not entries, and passes a practically-unreachable cap)
+		// must not preallocate gigabytes of buckets up front.
+		hint = 1024
+	}
 	return &Cache[K, V]{
 		capacity: capacity,
-		m:        make(map[K]*node[K, V], capacity),
+		m:        make(map[K]*node[K, V], hint),
 		onEvict:  onEvict,
 	}
 }
@@ -120,6 +127,37 @@ func (c *Cache[K, V]) Put(key K, val V) {
 			c.onEvict(lru.key, lru.val)
 		}
 	}
+}
+
+// Remove deletes the entry stored under key, reporting whether it was
+// present. Removal is not an eviction: the onEvict hook does not run and
+// the eviction counter does not move — callers (internal/store's
+// byte-budget sweep, quarantine of a corrupt record) account for the
+// entry themselves.
+func (c *Cache[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.m[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.m, key)
+	return true
+}
+
+// Oldest peeks at the least recently used entry without promoting it —
+// the probe a byte-budget eviction loop needs to decide what to delete
+// next (pair it with Remove).
+func (c *Cache[K, V]) Oldest() (K, V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tail == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return c.tail.key, c.tail.val, true
 }
 
 // Len returns the current entry count.

@@ -102,6 +102,83 @@ func TestLenAndCap(t *testing.T) {
 	}
 }
 
+func TestRemoveDeletesWithoutEvicting(t *testing.T) {
+	var evicted []string
+	c := NewWithEvict[string, int](3, func(k string, _ int) { evicted = append(evicted, k) })
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if !c.Remove("b") {
+		t.Fatal("Remove(b) = false for a present key")
+	}
+	if c.Remove("b") {
+		t.Error("Remove(b) = true twice")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b still readable after Remove")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d after Remove, want 2", c.Len())
+	}
+	if len(evicted) != 0 || c.Evictions() != 0 {
+		t.Errorf("Remove ran the eviction machinery: hook %v, counter %d", evicted, c.Evictions())
+	}
+	// The freed slot is real capacity again: two more puts, no eviction.
+	c.Put("d", 4)
+	if c.Evictions() != 0 {
+		t.Error("Put after Remove evicted despite free capacity")
+	}
+}
+
+func TestRemoveHeadAndTailKeepListConsistent(t *testing.T) {
+	c := New[string, int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // recency: c b a
+	c.Remove("c") // head
+	c.Remove("a") // tail
+	got := c.Keys()
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Keys() = %v after head+tail removal, want [b]", got)
+	}
+	k, v, ok := c.Oldest()
+	if !ok || k != "b" || v != 2 {
+		t.Errorf("Oldest() = %q, %d, %t; want b, 2, true", k, v, ok)
+	}
+}
+
+func TestOldestPeeksWithoutPromoting(t *testing.T) {
+	c := New[string, int](3)
+	if _, _, ok := c.Oldest(); ok {
+		t.Error("Oldest() on an empty cache reported an entry")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	k, v, ok := c.Oldest()
+	if !ok || k != "a" || v != 1 {
+		t.Fatalf("Oldest() = %q, %d, %t; want a, 1, true", k, v, ok)
+	}
+	// Peeking must not promote: a is still the eviction victim.
+	c.Put("c", 3)
+	c.Put("d", 4)
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived eviction; Oldest() must not promote")
+	}
+}
+
+func TestHugeCapacityDoesNotPreallocate(t *testing.T) {
+	// internal/store bounds its index by bytes and passes an effectively
+	// unbounded entry capacity; construction must stay O(1) in memory.
+	c := New[string, int](1 << 30)
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d, %t; want 1, true", v, ok)
+	}
+	if c.Cap() != 1<<30 {
+		t.Errorf("Cap() = %d, want %d", c.Cap(), 1<<30)
+	}
+}
+
 func TestZeroCapacityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -24,6 +24,44 @@ const (
 	TypeWatchdog = "watchdog"
 )
 
+// TypeStore is the Event.Type discriminator of a StoreEvent line.
+const TypeStore = "store"
+
+// Store-event operation labels (StoreEvent.Op).
+const (
+	// StoreOpWarmStart is the one-line boot summary of a directory scan.
+	StoreOpWarmStart = "warm_start"
+	// StoreOpQuarantine records a torn or corrupt record moved aside.
+	StoreOpQuarantine = "quarantine"
+	// StoreOpEvict records a record deleted by byte-budget pressure.
+	StoreOpEvict = "evict"
+)
+
+// StoreEvent is one durable-result-store lifecycle record
+// (internal/store, DESIGN.md §16): warm starts, quarantines and
+// byte-budget evictions, on the same versioned JSONL envelope as the
+// simulation and access streams.
+type StoreEvent struct {
+	// Op is one of the StoreOp* labels.
+	Op string `json:"op"`
+	// Key is the RunSpec hash concerned; empty for directory-wide ops.
+	Key string `json:"key,omitempty"`
+	// Records is the record count involved (warm start: records loaded).
+	Records int `json:"records,omitempty"`
+	// Bytes is the on-disk byte count after the operation.
+	Bytes int64 `json:"bytes,omitempty"`
+	// DurMs is the operation wall time in milliseconds; zero when the
+	// store runs without a clock.
+	DurMs float64 `json:"dur_ms,omitempty"`
+	// Detail carries the failure text of a quarantine, when known.
+	Detail string `json:"detail,omitempty"`
+}
+
+// OnStore appends one store lifecycle line to the sink.
+func (s *JSONLSink) OnStore(ev StoreEvent) {
+	s.emit(Event{Type: TypeStore, Store: &ev})
+}
+
 // Event is the JSONL envelope: one line per hook invocation, with Type
 // selecting which single payload pointer is populated. The envelope
 // round-trips exactly through encoding/json (Go emits float64 with the
@@ -43,6 +81,7 @@ type Event struct {
 	Fault    *FaultEvent    `json:"fault,omitempty"`
 	Watchdog *WatchdogEvent `json:"watchdog,omitempty"`
 	Access   *AccessEvent   `json:"access,omitempty"`
+	Store    *StoreEvent    `json:"store,omitempty"`
 }
 
 // Validate checks the envelope invariants: a known schema version and
@@ -75,6 +114,9 @@ func (e Event) Validate() error {
 	}
 	if e.Access != nil {
 		set = append(set, TypeAccess)
+	}
+	if e.Store != nil {
+		set = append(set, TypeStore)
 	}
 	if len(set) != 1 {
 		return fmt.Errorf("obs: event %q carries %d payloads (want exactly 1)", e.Type, len(set))

@@ -73,6 +73,36 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStoreEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sink.OnStore(StoreEvent{Op: StoreOpWarmStart, Records: 12, Bytes: 4096, DurMs: 1.5})
+	sink.OnStore(StoreEvent{Op: StoreOpQuarantine, Key: "abc123", Detail: "checksum mismatch"})
+	sink.OnStore(StoreEvent{Op: StoreOpEvict, Key: "def456", Bytes: 2048})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Type != TypeStore || ev.Store == nil {
+			t.Fatalf("event %d = %+v, want a %q payload", i, ev, TypeStore)
+		}
+	}
+	want := StoreEvent{Op: StoreOpWarmStart, Records: 12, Bytes: 4096, DurMs: 1.5}
+	if got := *events[0].Store; got != want {
+		t.Errorf("warm-start payload = %+v, want %+v", got, want)
+	}
+	if events[1].Store.Detail != "checksum mismatch" {
+		t.Errorf("quarantine detail = %q, want the failure text", events[1].Store.Detail)
+	}
+}
+
 func TestEventValidate(t *testing.T) {
 	tick := &TickEvent{Minute: 1}
 	cases := []struct {

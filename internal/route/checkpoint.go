@@ -1,0 +1,118 @@
+package route
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"solarcore/client"
+	"solarcore/internal/obs"
+)
+
+// Sweep checkpointing (DESIGN.md §16). A fleet sweep can run for
+// minutes; when solargate dies mid-batch every completed cell is lost
+// and the client's retry recomputes the whole grid. With
+// Config.CheckpointDir set, each successfully completed cell is
+// appended — one JSON line, write(2)-atomic at these sizes — to a
+// journal named by the sweep's identity (the hash of its cell hashes,
+// so an identical re-submitted batch finds it and a different batch
+// cannot). On resume, journal lines fill their cells up front and only
+// the missing cells are fetched; a torn tail line (the crash can land
+// mid-write) invalidates only itself. The journal is deleted when every
+// cell of a sweep has succeeded, so the directory holds only sweeps
+// that still have work to lose.
+
+// ckptLine is one journal line: a cell index and its finished item.
+type ckptLine struct {
+	I    int              `json:"i"`
+	Item client.SweepItem `json:"item"`
+}
+
+// sweepID names a sweep by content: the hex SHA-256 over its cell
+// hashes in order. Order matters — the journal records indices.
+func sweepID(runs []client.RunRequest) string {
+	h := sha256.New()
+	for _, r := range runs {
+		h.Write([]byte(r.Hash()))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// checkpoint is one sweep's open journal. record is called from the
+// sweep worker goroutines; the mutex serializes appends.
+type checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openCheckpoint loads (or starts) the journal for a sweep, restoring
+// finished cells into items/done. Checkpointing is strictly best
+// effort: any filesystem failure returns a nil checkpoint and the sweep
+// proceeds un-journaled rather than failing.
+func (rt *Router) openCheckpoint(id string, items []client.SweepItem, done []bool) *checkpoint {
+	if err := os.MkdirAll(rt.cfg.CheckpointDir, 0o755); err != nil {
+		return nil
+	}
+	path := filepath.Join(rt.cfg.CheckpointDir, id+".ckpt")
+	if raw, err := os.ReadFile(path); err == nil {
+		restoreCheckpoint(raw, items, done)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil
+	}
+	return &checkpoint{f: f, path: path}
+}
+
+// restoreCheckpoint replays journal bytes into the sweep's item slots.
+// Restored cells are marked obs.CacheCheckpoint so callers can see the
+// resume; a malformed line (the torn tail of a crash) stops the replay
+// — everything after it is refetched, which is always correct.
+func restoreCheckpoint(raw []byte, items []client.SweepItem, done []bool) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for {
+		var line ckptLine
+		if err := dec.Decode(&line); err != nil {
+			return
+		}
+		if line.I < 0 || line.I >= len(items) || line.Item.Error != "" {
+			continue
+		}
+		items[line.I] = line.Item
+		items[line.I].Cache = obs.CacheCheckpoint
+		done[line.I] = true
+	}
+}
+
+// record appends one finished cell. Failed cells are not recorded —
+// a resume should retry them.
+func (c *checkpoint) record(i int, item client.SweepItem) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// One line per cell; an append either lands whole or becomes the
+	// torn tail the reader already tolerates.
+	_ = json.NewEncoder(c.f).Encode(ckptLine{I: i, Item: item})
+}
+
+// finish closes the journal, deleting it when the sweep fully
+// succeeded (complete is true) so finished sweeps leave nothing behind.
+func (c *checkpoint) finish(complete bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.f.Close()
+	if complete {
+		_ = os.Remove(c.path)
+	}
+}

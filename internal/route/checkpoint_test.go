@@ -1,0 +1,244 @@
+package route
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"solarcore/client"
+	"solarcore/internal/obs"
+)
+
+// postSweep sends a sweep through the router's handler and decodes it.
+func postSweep(t *testing.T, rt *Router, req client.SweepRequest) (*httptest.ResponseRecorder, client.SweepResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader(body)))
+	var sr client.SweepResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+			t.Fatalf("decode sweep response: %v", err)
+		}
+	}
+	return rec, sr
+}
+
+func ckptPath(rt *Router, runs []client.RunRequest) string {
+	return filepath.Join(rt.cfg.CheckpointDir, sweepID(runs)+".ckpt")
+}
+
+// TestSweepCheckpointResume is the crash-resume contract: cells already
+// journaled by a previous (killed) attempt are restored, only the
+// missing cells hit the fleet, and a fully successful sweep deletes its
+// journal.
+func TestSweepCheckpointResume(t *testing.T) {
+	nodes, urls := newFleet(t, 1)
+	dir := t.TempDir()
+	rt := newTestRouter(t, urls, func(c *Config) { c.CheckpointDir = dir })
+	runs := []client.RunRequest{spec(0), spec(1), spec(2)}
+
+	// A previous attempt finished cells 0 and 2, then died: write the
+	// journal it would have left behind.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, i := range []int{0, 2} {
+		if err := enc.Encode(ckptLine{I: i, Item: client.SweepItem{
+			Hash: runs[i].Hash(), Cache: obs.CacheHit,
+			Result: json.RawMessage(`{"from":"journal"}`),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(ckptPath(rt, runs), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, sr := postSweep(t, rt, client.SweepRequest{Runs: runs})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep status = %d: %s", rec.Code, rec.Body)
+	}
+	if got := nodes[0].runs.Load(); got != 1 {
+		t.Errorf("backend saw %d runs, want 1 (cells 0 and 2 restored)", got)
+	}
+	for _, i := range []int{0, 2} {
+		if sr.Results[i].Cache != obs.CacheCheckpoint {
+			t.Errorf("cell %d Cache = %q, want %q", i, sr.Results[i].Cache, obs.CacheCheckpoint)
+		}
+		if string(sr.Results[i].Result) != `{"from":"journal"}` {
+			t.Errorf("cell %d body = %s, want the journaled bytes", i, sr.Results[i].Result)
+		}
+	}
+	if sr.Results[1].Error != "" || sr.Results[1].Cache == obs.CacheCheckpoint {
+		t.Errorf("cell 1 = %+v, want a fresh fetch", sr.Results[1])
+	}
+	if _, err := os.Stat(ckptPath(rt, runs)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("journal survived a fully successful sweep")
+	}
+}
+
+// TestSweepJournalSurvivesFailure pins the other half: a sweep with
+// failed cells keeps its journal (holding the cells that DID succeed)
+// and a retry after the fault clears completes from it.
+func TestSweepJournalSurvivesFailure(t *testing.T) {
+	nodes, urls := newFleet(t, 1)
+	dir := t.TempDir()
+	rt := newTestRouter(t, urls, func(c *Config) {
+		c.CheckpointDir = dir
+		c.MaxRetries = -1 // no fail-over: one node, one attempt
+	})
+	runs := []client.RunRequest{spec(0), spec(1)}
+
+	nodes[0].failCode.Store(http.StatusInternalServerError)
+	rec, sr := postSweep(t, rt, client.SweepRequest{Runs: runs})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep status = %d", rec.Code)
+	}
+	for i, item := range sr.Results {
+		if item.Error == "" {
+			t.Errorf("cell %d succeeded against a failing node", i)
+		}
+	}
+	if _, err := os.Stat(ckptPath(rt, runs)); err != nil {
+		t.Fatalf("journal missing after a failed sweep: %v", err)
+	}
+
+	nodes[0].failCode.Store(0)
+	rec, sr = postSweep(t, rt, client.SweepRequest{Runs: runs})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retry status = %d", rec.Code)
+	}
+	for i, item := range sr.Results {
+		if item.Error != "" {
+			t.Errorf("retry cell %d still failing: %s", i, item.Error)
+		}
+	}
+	if _, err := os.Stat(ckptPath(rt, runs)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("journal survived the successful retry")
+	}
+}
+
+// TestRestoreCheckpointTornTail pins the journal reader's degradation:
+// a torn tail line (crash mid-append) invalidates only itself.
+func TestRestoreCheckpointTornTail(t *testing.T) {
+	runs := []client.RunRequest{spec(0), spec(1)}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(ckptLine{I: 0, Item: client.SweepItem{Hash: runs[0].Hash(), Result: json.RawMessage(`{}`)}}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"i":1,"item":{"hash":`) // the crash landed here
+
+	items := make([]client.SweepItem, 2)
+	done := make([]bool, 2)
+	restoreCheckpoint(buf.Bytes(), items, done)
+	if !done[0] || items[0].Cache != obs.CacheCheckpoint {
+		t.Errorf("intact line not restored: %+v", items[0])
+	}
+	if done[1] {
+		t.Error("torn line marked done")
+	}
+
+	// Out-of-range and failed lines are skipped, not trusted.
+	var buf2 bytes.Buffer
+	enc = json.NewEncoder(&buf2)
+	_ = enc.Encode(ckptLine{I: 99, Item: client.SweepItem{}})
+	_ = enc.Encode(ckptLine{I: 1, Item: client.SweepItem{Error: "failed last time"}})
+	items = make([]client.SweepItem, 2)
+	done = make([]bool, 2)
+	restoreCheckpoint(buf2.Bytes(), items, done)
+	if done[0] || done[1] {
+		t.Errorf("bogus lines restored: %v", done)
+	}
+}
+
+// TestProbeJitterBounds pins the jitter contract: every drawn period
+// stays inside ProbeInterval·[1−j, 1+j], the draw is deterministic in
+// the seed, and a negative jitter pins the period exactly.
+func TestProbeJitterBounds(t *testing.T) {
+	_, urls := newFleet(t, 1)
+	const interval = 100 * time.Millisecond
+	rt := newTestRouter(t, urls, func(c *Config) {
+		c.ProbeInterval = interval
+		c.ProbeJitter = 0.2
+		c.Seed = 42
+	})
+	lo, hi := 80*time.Millisecond, 120*time.Millisecond
+	distinct := map[time.Duration]bool{}
+	var first []time.Duration
+	for i := 0; i < 200; i++ {
+		d := rt.nextProbeDelay()
+		if d < lo || d > hi {
+			t.Fatalf("draw %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+		distinct[d] = true
+		first = append(first, d)
+	}
+	if len(distinct) < 10 {
+		t.Errorf("only %d distinct periods in 200 draws; jitter is not spreading", len(distinct))
+	}
+
+	// Same seed, same sequence: restarts behave reproducibly.
+	rt2 := newTestRouter(t, urls, func(c *Config) {
+		c.ProbeInterval = interval
+		c.ProbeJitter = 0.2
+		c.Seed = 42
+	})
+	for i, want := range first[:50] {
+		if got := rt2.nextProbeDelay(); got != want {
+			t.Fatalf("draw %d = %v, want %v (seed determinism)", i, got, want)
+		}
+	}
+
+	// Negative jitter disables spreading (tests pin exact cadence).
+	rt3 := newTestRouter(t, urls, func(c *Config) {
+		c.ProbeInterval = interval
+		c.ProbeJitter = -1
+	})
+	for i := 0; i < 10; i++ {
+		if got := rt3.nextProbeDelay(); got != interval {
+			t.Fatalf("pinned draw = %v, want exactly %v", got, interval)
+		}
+	}
+}
+
+// TestIntegrityFailureFailsOver pins the anti-corruption path end to
+// end: a backend whose response body fails its checksum is treated as a
+// transport failure and the request fails over to the next owner — the
+// client never sees a corrupt 200.
+func TestIntegrityFailureFailsOver(t *testing.T) {
+	if !retryable(&client.IntegrityError{Got: "a", Want: "b"}) {
+		t.Fatal("IntegrityError not retryable; fail-over would surface corrupt deliveries")
+	}
+	nodes, urls := newFleet(t, 2)
+	rt := newTestRouter(t, urls, nil)
+	req := spec(7)
+	owners := ownerOrder(rt, nodes, req)
+	owners[0].badSum.Store(true)
+
+	rec := postRun(t, rt, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(client.HeaderRoute); got != client.RouteRetried {
+		t.Errorf("%s = %q, want %q", client.HeaderRoute, got, client.RouteRetried)
+	}
+	if got := rec.Header().Get(client.HeaderBackend); got != owners[1].url() {
+		t.Errorf("winning backend = %q, want the second owner %q", got, owners[1].url())
+	}
+	if err := client.CheckBodySum(rec.Header().Get(client.HeaderBodySum), rec.Body.Bytes()); err != nil {
+		t.Errorf("gate response sum does not verify: %v", err)
+	}
+}

@@ -135,6 +135,13 @@ func retryable(err error) bool {
 	if errors.As(err, &ae) {
 		return ae.Temporary()
 	}
+	// A failed body checksum means the bytes were damaged in flight, not
+	// that the computation is wrong: the engine is deterministic, so the
+	// next owner reproduces the result byte-identically.
+	var ie *client.IntegrityError
+	if errors.As(err, &ie) {
+		return true
+	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}

@@ -151,6 +151,9 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(client.HeaderRoute, disp)
 	w.Header().Set(client.HeaderBackend, backendName)
+	// Re-declare integrity for the gate→client hop: the upstream sum was
+	// verified by the typed client when the body arrived here.
+	w.Header().Set(client.HeaderBodySum, client.BodySum(res.Body))
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(res.Body)
 }
@@ -198,6 +201,14 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx := r.Context()
 	items := make([]client.SweepItem, len(req.Runs))
+	// Durable sweeps: restore cells a previous (crashed) attempt already
+	// finished and journal new completions. done is written only here,
+	// before the workers start, and read-only afterwards.
+	done := make([]bool, len(req.Runs))
+	var ck *checkpoint
+	if rt.cfg.CheckpointDir != "" {
+		ck = rt.openCheckpoint(sweepID(req.Runs), items, done)
+	}
 	workers := rt.cfg.SweepWorkers
 	if workers > len(req.Runs) {
 		workers = len(req.Runs)
@@ -209,7 +220,13 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if done[i] {
+					continue
+				}
 				items[i] = rt.sweepCell(ctx, req.Runs[i])
+				if items[i].Error == "" {
+					ck.record(i, items[i])
+				}
 			}
 		}()
 	}
@@ -230,6 +247,16 @@ feed:
 	for i := fed; i < len(items); i++ {
 		items[i].Hash = req.Runs[i].Hash()
 		items[i].Error = fmt.Errorf("sweep canceled: %w", ctx.Err()).Error()
+	}
+	if ck != nil {
+		complete := fed == len(req.Runs)
+		for _, it := range items {
+			if it.Error != "" {
+				complete = false
+				break
+			}
+		}
+		ck.finish(complete)
 	}
 	writeJSON(w, http.StatusOK, client.SweepResponse{Results: items})
 }

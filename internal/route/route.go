@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -96,6 +97,23 @@ type Config struct {
 	// ProbeTimeout bounds one probe (default ProbeInterval).
 	ProbeInterval time.Duration
 	ProbeTimeout  time.Duration
+	// ProbeJitter spreads each probe period uniformly over
+	// ProbeInterval·[1−j, 1+j] (default 0.2, capped at 0.9; negative
+	// pins the period exactly — tests use that) so a fleet of routers
+	// restarted together does not probe every backend in lockstep
+	// forever. Jitter draws from a rand seeded by Seed — fully
+	// deterministic, like everything else in this repository.
+	ProbeJitter float64
+	// Seed feeds the router's internal randomness (probe jitter); the
+	// default 1 matches the repo-wide seeded-rand convention.
+	Seed int64
+	// CheckpointDir, when non-empty, makes /v1/sweep durable: each
+	// completed cell is appended to a per-sweep journal in this
+	// directory, and an identical sweep re-submitted after a crash
+	// restores finished cells from the journal (Cache disposition
+	// obs.CacheCheckpoint) instead of re-fetching them. The journal is
+	// deleted once every cell of a sweep has succeeded.
+	CheckpointDir string
 	// FailThreshold is how many consecutive probe failures eject a
 	// backend (default 3).
 	FailThreshold int
@@ -154,6 +172,18 @@ func (c Config) withDefaults() Config {
 	if c.FailThreshold < 1 {
 		c.FailThreshold = 3
 	}
+	if c.ProbeJitter == 0 {
+		c.ProbeJitter = 0.2
+	}
+	if c.ProbeJitter < 0 {
+		c.ProbeJitter = 0
+	}
+	if c.ProbeJitter > 0.9 {
+		c.ProbeJitter = 0.9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	if c.MaxSweep < 1 {
 		c.MaxSweep = 256
 	}
@@ -181,11 +211,12 @@ type backend struct {
 // health prober with Start, mount Handler on an http.Server, and on
 // shutdown call StartDrain, drain the listener, then Close.
 type Router struct {
-	cfg      Config
-	reg      *obs.Registry
-	ring     *ring
-	backends []*backend
-	lat      *latWindow
+	cfg       Config
+	reg       *obs.Registry
+	ring      *ring
+	backends  []*backend
+	lat       *latWindow
+	probeRand *rand.Rand // jitter source; owned by the probeLoop goroutine
 
 	draining  atomic.Bool
 	closeOnce sync.Once
@@ -203,10 +234,11 @@ func New(cfg Config) (*Router, error) {
 	}
 	cfg = cfg.withDefaults()
 	rt := &Router{
-		cfg:  cfg,
-		reg:  cfg.Registry,
-		lat:  newLatWindow(),
-		done: make(chan struct{}),
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		lat:       newLatWindow(),
+		probeRand: rand.New(rand.NewSource(cfg.Seed)),
+		done:      make(chan struct{}),
 	}
 	seen := map[string]bool{}
 	names := make([]string, 0, len(cfg.Backends))
@@ -298,10 +330,11 @@ func (rt *Router) setHealthyGauge() {
 	rt.reg.Set(MetricBackendsHealthy, float64(rt.Healthy()))
 }
 
-// probeLoop drives the eject/re-admit state machine on ProbeInterval.
+// probeLoop drives the eject/re-admit state machine, one round per
+// jittered ProbeInterval. probeRand is owned by this goroutine alone.
 func (rt *Router) probeLoop(ctx context.Context) {
 	defer rt.wg.Done()
-	t := time.NewTicker(rt.cfg.ProbeInterval)
+	t := time.NewTimer(rt.nextProbeDelay())
 	defer t.Stop()
 	for {
 		select {
@@ -311,8 +344,22 @@ func (rt *Router) probeLoop(ctx context.Context) {
 			return
 		case <-t.C:
 			rt.probeAll(ctx)
+			t.Reset(rt.nextProbeDelay())
 		}
 	}
+}
+
+// nextProbeDelay draws one probe period: ProbeInterval spread uniformly
+// over [1−ProbeJitter, 1+ProbeJitter]. The draw is deterministic in
+// Config.Seed; only probeLoop (or a test that never starts the prober)
+// may call it.
+func (rt *Router) nextProbeDelay() time.Duration {
+	j := rt.cfg.ProbeJitter
+	if j <= 0 {
+		return rt.cfg.ProbeInterval
+	}
+	f := 1 + j*(2*rt.probeRand.Float64()-1)
+	return time.Duration(f * float64(rt.cfg.ProbeInterval))
 }
 
 // probeAll probes every backend once. A passing probe clears the

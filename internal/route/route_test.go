@@ -28,6 +28,7 @@ type fakeNode struct {
 	delayNs   atomic.Int64
 	failCode  atomic.Int32 // non-zero: answer /v1/run with this status
 	healthyOK atomic.Bool  // /healthz answer
+	badSum    atomic.Bool  // declare a wrong X-Body-Sum on /v1/run
 }
 
 func (f *fakeNode) url() string { return f.ts.URL }
@@ -57,6 +58,11 @@ func (f *fakeNode) handler() http.Handler {
 		}
 		w.Header().Set(client.HeaderCache, obs.CacheHit)
 		w.Header().Set("Content-Type", "application/json")
+		if f.badSum.Load() {
+			// A sum that cannot match any body: simulated in-flight
+			// corruption the typed client must catch.
+			w.Header().Set(client.HeaderBodySum, "crc32c:00000000")
+		}
 		fmt.Fprintf(w, `{"served_by":%q}`, f.ts.URL)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {

@@ -67,6 +67,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set(headerCache, src)
+	// Declare the body checksum so clients can detect in-flight
+	// corruption: HTTP itself delivers flipped bits as a healthy 200.
+	w.Header().Set(client.HeaderBodySum, client.BodySum(body))
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(body)
 }

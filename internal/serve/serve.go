@@ -34,6 +34,7 @@ import (
 	"solarcore"
 	"solarcore/internal/lru"
 	"solarcore/internal/obs"
+	"solarcore/internal/store"
 )
 
 // Server metric names, kept in the obs.Registry exported by /metrics
@@ -94,6 +95,13 @@ type Config struct {
 	MaxSweep int
 	// Registry receives the serve_* metrics; nil builds a private one.
 	Registry *obs.Registry
+	// Store, when non-nil, is the crash-safe durable result layer
+	// (internal/store, DESIGN.md §16) behind the in-memory LRU: New
+	// warm-starts the memory cache from its most recent records, misses
+	// fall through to verified disk reads before simulating, and every
+	// computed result is persisted — so a kill -9 and restart replays
+	// cached results byte-identically instead of recomputing.
+	Store *store.Store
 	// AccessLog, when non-nil, receives one obs.AccessEvent JSON line per
 	// completed request.
 	AccessLog *obs.JSONLSink
@@ -174,6 +182,16 @@ func New(cfg Config) *Server {
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
 		return spec.Run(ctx)
+	}
+	// Warm-start the memory cache from the durable layer: most recent
+	// records are inserted last so the LRU's recency order matches the
+	// store's. Payloads were CRC-verified by Recent; a cold or empty
+	// store simply starts the cache empty, exactly as before.
+	if cfg.Store != nil {
+		recent := cfg.Store.Recent(cfg.CacheEntries)
+		for i := len(recent) - 1; i >= 0; i-- {
+			s.cache.Put(recent[i].Key, recent[i].Body)
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/run", s.instrument("/v1/run", s.handleRun))
@@ -265,9 +283,20 @@ func (s *Server) Result(ctx context.Context, spec solarcore.RunSpec, timeoutMs i
 		return body, obs.CacheHit, nil
 	}
 	s.reg.Add(MetricCacheMisses, 1)
+	fromStore := false // leader-only; read after Do when shared is false
 	body, shared, err := s.group.Do(ctx, key, func() ([]byte, error) {
 		if s.draining.Load() {
 			return nil, ErrDraining
+		}
+		// Durable layer: a verified disk record replays byte-identically
+		// without burning a worker slot. Coalesced followers share the
+		// read like they would share a simulation.
+		if s.cfg.Store != nil {
+			if b, ok := s.cfg.Store.Get(key); ok {
+				s.cache.Put(key, b)
+				fromStore = true
+				return b, nil
+			}
 		}
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
@@ -289,12 +318,22 @@ func (s *Server) Result(ctx context.Context, spec solarcore.RunSpec, timeoutMs i
 			return nil, fmt.Errorf("serve: marshal result: %w", err)
 		}
 		s.cache.Put(key, out)
+		if s.cfg.Store != nil {
+			// Best effort: a full or read-only disk must not fail the
+			// request; the store counts store_put_errors_total itself.
+			_ = s.cfg.Store.Put(key, out)
+		}
 		return out, nil
 	})
 	src := obs.CacheMiss
-	if shared {
+	switch {
+	case shared:
 		s.reg.Add(MetricCoalesced, 1)
 		src = obs.CacheCoalesced
+	case fromStore:
+		// A durable-layer replay is a hit from the client's point of
+		// view: byte-identical bytes, no simulation ran.
+		src = obs.CacheHit
 	}
 	return body, src, err
 }

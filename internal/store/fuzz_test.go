@@ -1,0 +1,53 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzStoreRecord drives the record codec with arbitrary payloads and a
+// mutation selector, asserting the two properties everything in this
+// package rests on:
+//
+//  1. round trip — EncodeRecord then DecodeRecord returns the payload
+//     byte for byte;
+//  2. tamper evidence — ANY truncation of the frame and ANY single-bit
+//     flip decodes to a *CorruptError, never to a quietly wrong payload.
+//
+// Property 2 is what lets Open and Get treat "decoded OK" as "safe to
+// serve": a torn write or flipped sector is always detected.
+func FuzzStoreRecord(f *testing.F) {
+	f.Add([]byte(nil), uint16(0), uint8(0))
+	f.Add([]byte(`{"solar_wh":400.125,"utility_wh":20.5}`), uint16(3), uint8(1))
+	f.Add(bytes.Repeat([]byte{0x00}, 64), uint16(64), uint8(7))
+	f.Add(bytes.Repeat([]byte{0xff}, 1), uint16(12), uint8(255))
+	f.Fuzz(func(t *testing.T, payload []byte, cut uint16, flip uint8) {
+		frame := EncodeRecord(payload)
+
+		// 1. Round trip.
+		got, err := DecodeRecord(frame)
+		if err != nil {
+			t.Fatalf("intact frame failed to decode: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip: got %d bytes, want %d", len(got), len(payload))
+		}
+
+		// 2a. Every truncation is detected. cut selects how many trailing
+		// bytes to drop (at least one).
+		drop := int(cut)%len(frame) + 1
+		if _, err := DecodeRecord(frame[:len(frame)-drop]); !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("truncation by %d bytes not detected: %v", drop, err)
+		}
+
+		// 2b. Every single-bit flip is detected — in the header (magic,
+		// length, checksum) and in the payload alike. flip selects the bit.
+		idx := int(flip) % (len(frame) * 8)
+		mutated := append([]byte(nil), frame...)
+		mutated[idx/8] ^= 1 << (idx % 8)
+		if _, err := DecodeRecord(mutated); !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("bit flip at bit %d not detected: %v", idx, err)
+		}
+	})
+}

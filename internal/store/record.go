@@ -1,0 +1,99 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The on-disk record format (DESIGN.md §16). Every record file is one
+// marshaled result wrapped in a self-verifying frame:
+//
+//	offset  size  field
+//	0       4     magic "SCR1" (store record, format version 1)
+//	4       4     payload length, uint32 little-endian
+//	8       4     CRC32-C (Castagnoli) of the payload, little-endian
+//	12      n     payload (the marshaled DayResult JSON)
+//
+// The frame exists to make torn and corrupt writes detectable, never
+// servable: a crash mid-write leaves either a *.tmp file (ignored and
+// deleted on boot — the rename never happened) or, on filesystems that
+// reorder metadata, a short or zero-filled record file whose length
+// prefix or checksum cannot match. DecodeRecord refuses all of those
+// with a typed *CorruptError; it never returns a payload whose checksum
+// did not verify.
+
+// recordMagic identifies a store record file, version included — a
+// future format bumps the trailing digit and old builds refuse loudly.
+const recordMagic = "SCR1"
+
+// recordHeaderLen is the fixed frame overhead in bytes.
+const recordHeaderLen = 12
+
+// maxRecordPayload bounds a single decoded payload (64 MiB). A length
+// prefix beyond it is treated as corruption, so a flipped high bit
+// cannot make the decoder attempt a gigabyte allocation.
+const maxRecordPayload = 64 << 20
+
+// castagnoli is the CRC32-C table; Castagnoli is chosen over IEEE for
+// its strictly better burst-error detection (and hardware support).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptRecord is the sentinel wrapped by every *CorruptError, so
+// callers can test the class with errors.Is without matching details.
+var ErrCorruptRecord = errors.New("store: corrupt record")
+
+// CorruptError describes why a record failed verification. It wraps
+// ErrCorruptRecord and carries the human-readable reason the quarantine
+// event logs.
+type CorruptError struct {
+	Reason string
+}
+
+func (e *CorruptError) Error() string { return "store: corrupt record: " + e.Reason }
+
+// Unwrap makes errors.Is(err, ErrCorruptRecord) true.
+func (e *CorruptError) Unwrap() error { return ErrCorruptRecord }
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// EncodeRecord frames payload for disk: magic, length prefix, CRC32-C,
+// payload. The returned slice is freshly allocated.
+func EncodeRecord(payload []byte) []byte {
+	out := make([]byte, recordHeaderLen+len(payload))
+	copy(out, recordMagic)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[8:12], crc32.Checksum(payload, castagnoli))
+	copy(out[recordHeaderLen:], payload)
+	return out
+}
+
+// DecodeRecord verifies a framed record and returns its payload. Any
+// deviation — short frame, wrong magic, length mismatch, trailing
+// bytes, checksum failure — returns a *CorruptError (errors.Is
+// ErrCorruptRecord) and a nil payload: a record that does not verify is
+// never partially served. The returned payload aliases b.
+func DecodeRecord(b []byte) ([]byte, error) {
+	if len(b) < recordHeaderLen {
+		return nil, corruptf("frame of %d bytes is shorter than the %d-byte header", len(b), recordHeaderLen)
+	}
+	if string(b[:4]) != recordMagic {
+		return nil, corruptf("bad magic %q (want %q)", b[:4], recordMagic)
+	}
+	n := binary.LittleEndian.Uint32(b[4:8])
+	if n > maxRecordPayload {
+		return nil, corruptf("length prefix %d exceeds the %d-byte payload bound", n, maxRecordPayload)
+	}
+	if uint32(len(b)-recordHeaderLen) != n {
+		return nil, corruptf("length prefix %d does not match the %d payload bytes present", n, len(b)-recordHeaderLen)
+	}
+	payload := b[recordHeaderLen:]
+	want := binary.LittleEndian.Uint32(b[8:12])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, corruptf("checksum %08x does not match header %08x", got, want)
+	}
+	return payload, nil
+}

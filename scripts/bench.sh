@@ -15,6 +15,13 @@
 #                         nodes (uncapped; on a single host this mostly
 #                         measures the routing hop's overhead, on real
 #                         hardware it measures scale-out)
+#   warm_start_ms       — durable-store boot scan after a kill -9: time
+#                         to verify every record and rebuild the index,
+#                         as announced by the restarted solard
+#   store_hit_req_per_sec — sustained rate when requests are served by
+#                         the durable store's verified disk reads (the
+#                         memory LRU is pinned tiny so nearly every
+#                         request takes the disk path)
 #   solarvet_wall_ms    — a full cold solarvet pass (parse + type-check
 #                         + all analyzers over the whole module)
 #
@@ -60,6 +67,44 @@ echo '== serve: solarload (uncached fill path)'
 "$workdir/solarload" -url "$url" -n 512 -c 4 -distinct 512 > "$workdir/load-uncached.txt"
 uncached_s="$(sed -n 's/.*(\([0-9][0-9]*\) req\/s sustained).*/\1/p' "$workdir/load-uncached.txt")"
 [ -n "$uncached_s" ] || { echo 'solarload printed no sustained rate'; cat "$workdir/load-uncached.txt"; exit 1; }
+kill -TERM "$solard_pid"
+wait "$solard_pid" || true
+solard_pid=''
+
+echo '== store: fill, kill -9, warm start, durable-hit path'
+storedir="$workdir/store"
+"$workdir/solard" -addr 127.0.0.1:0 -store.dir "$storedir" > "$workdir/store1.log" 2>&1 &
+solard_pid=$!
+url=''
+for _ in $(seq 1 100); do
+    url="$(sed -n 's/^solard: listening on //p' "$workdir/store1.log")"
+    [ -n "$url" ] && break
+    kill -0 "$solard_pid" 2>/dev/null || { cat "$workdir/store1.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo 'store-bench solard never announced'; exit 1; }
+# Fill 256 distinct results into the store, then die without a drain.
+"$workdir/solarload" -url "$url" -n 256 -c 4 -step 8 -distinct 256 > /dev/null
+kill -9 "$solard_pid"
+wait "$solard_pid" 2>/dev/null || true
+# Restart: -cache 2 pins the memory LRU tiny, so the measured rate is
+# the store's verified-disk-read path, not memory replays.
+"$workdir/solard" -addr 127.0.0.1:0 -store.dir "$storedir" -cache 2 > "$workdir/store2.log" 2>&1 &
+solard_pid=$!
+url=''
+for _ in $(seq 1 100); do
+    url="$(sed -n 's/^solard: listening on //p' "$workdir/store2.log")"
+    [ -n "$url" ] && break
+    kill -0 "$solard_pid" 2>/dev/null || { cat "$workdir/store2.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo 'restarted store-bench solard never announced'; exit 1; }
+# "solard: store warmed 256 records (... ) in 3.2ms from ..." -> 3.2
+warm_ms="$(sed -n 's/^solard: store warmed .* in \([0-9.]*\)ms from .*/\1/p' "$workdir/store2.log")"
+[ -n "$warm_ms" ] || { echo 'restart announced no warm start'; cat "$workdir/store2.log"; exit 1; }
+"$workdir/solarload" -url "$url" -n 2000 -c 16 -step 8 -distinct 256 > "$workdir/load-store.txt"
+store_s="$(sed -n 's/.*(\([0-9][0-9]*\) req\/s sustained).*/\1/p' "$workdir/load-store.txt")"
+[ -n "$store_s" ] || { echo 'store solarload printed no sustained rate'; cat "$workdir/load-store.txt"; exit 1; }
 kill -TERM "$solard_pid"
 wait "$solard_pid" || true
 solard_pid=''
@@ -120,6 +165,8 @@ cat > "$out" <<JSON
   "served_req_per_sec": $req_s,
   "uncached_req_per_sec": $uncached_s,
   "fleet3_req_per_sec": $fleet_s,
+  "warm_start_ms": $warm_ms,
+  "store_hit_req_per_sec": $store_s,
   "solarvet_wall_ms": $vet_ms
 }
 JSON

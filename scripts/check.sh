@@ -46,16 +46,23 @@ go test ./...
 echo '== solarvet -json report (solarvet-report.json)'
 go run ./cmd/solarvet -json > solarvet-report.json
 
-echo '== go test -race (root, exp, sim, dc, obs, fault, lint, lru, serve, route, client, solarfleet, solargate)'
+echo '== go test -race (root, exp, sim, dc, obs, fault, lint, lru, serve, route, client, store, chaos, solarfleet, solargate)'
 go test -race . ./internal/exp ./internal/sim ./internal/dc ./internal/obs \
     ./internal/fault ./internal/lint ./internal/lru ./internal/serve \
-    ./internal/route ./client ./cmd/solarfleet ./cmd/solargate
+    ./internal/route ./client ./internal/store ./internal/chaos \
+    ./cmd/solarfleet ./cmd/solargate
 
 echo '== fault sweep (smoke)'
 go test -run 'TestFaultSweepSensorDropout' ./internal/exp
 
 echo '== fuzz: obs JSONL decoder (smoke)'
 go test -run '^$' -fuzz 'FuzzReadEvents' -fuzztime 5s ./internal/obs
+
+echo '== fuzz: store record codec (smoke)'
+go test -run '^$' -fuzz 'FuzzStoreRecord' -fuzztime 5s ./internal/store
+
+echo '== chaos harness (silent-corruption + partition-hedging invariants)'
+go test -race -run 'TestNeverSilentCorruption|TestPartitionHedgingBoundsTailLatency' ./internal/chaos
 
 echo '== observer + disarmed-fault overhead bench (smoke)'
 go test -run '^$' -bench 'BenchmarkRunMPPT(NopObserver|DisarmedFaults)?$' -benchtime=1x .
@@ -84,6 +91,43 @@ curl -fsS -X POST -d '{"site":"AZ","season":"Jul","mix":"HM2","step_min":8}' \
 kill -TERM "$solard_pid"
 wait "$solard_pid"
 grep -q 'drained, exiting' "$logfile" || { echo 'solard did not drain cleanly'; cat "$logfile"; exit 1; }
+solard_pid=''
+
+echo '== crash-recovery smoke (kill -9, durable store replays byte-identically)'
+storedir="$bindir/store"
+"$bindir/solard" -addr 127.0.0.1:0 -store.dir "$storedir" >"$bindir/crash1.log" 2>&1 &
+solard_pid=$!
+url=''
+for _ in $(seq 1 100); do
+    url="$(sed -n 's/^solard: listening on //p' "$bindir/crash1.log")"
+    [ -n "$url" ] && break
+    kill -0 "$solard_pid" 2>/dev/null || { cat "$bindir/crash1.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo 'crash-smoke solard never announced'; cat "$bindir/crash1.log"; exit 1; }
+spec='{"site":"AZ","season":"Jul","mix":"HM2","step_min":8,"day":9}'
+curl -fsS -X POST -d "$spec" "$url/v1/run" > "$bindir/pre-crash.json"
+kill -9 "$solard_pid"   # no drain, no recency journal: the real crash case
+wait "$solard_pid" 2>/dev/null || true
+"$bindir/solard" -addr 127.0.0.1:0 -store.dir "$storedir" >"$bindir/crash2.log" 2>&1 &
+solard_pid=$!
+url=''
+for _ in $(seq 1 100); do
+    url="$(sed -n 's/^solard: listening on //p' "$bindir/crash2.log")"
+    [ -n "$url" ] && break
+    kill -0 "$solard_pid" 2>/dev/null || { cat "$bindir/crash2.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo 'restarted solard never announced'; cat "$bindir/crash2.log"; exit 1; }
+grep -q 'store warmed' "$bindir/crash2.log" \
+    || { echo 'restart did not warm-start from the store'; cat "$bindir/crash2.log"; exit 1; }
+curl -fsS -D "$bindir/post-crash.hdr" -X POST -d "$spec" "$url/v1/run" > "$bindir/post-crash.json"
+grep -qi 'x-cache: hit' "$bindir/post-crash.hdr" \
+    || { echo 'post-restart response was not a cache hit'; cat "$bindir/post-crash.hdr"; exit 1; }
+cmp "$bindir/pre-crash.json" "$bindir/post-crash.json" \
+    || { echo 'post-restart bytes differ from pre-crash bytes'; exit 1; }
+kill -TERM "$solard_pid"
+wait "$solard_pid"
 solard_pid=''
 
 echo '== solargate fleet smoke (3 nodes, byte-identity, >=2.2x scale-out)'
