@@ -15,6 +15,7 @@ import (
 	"solarcore/internal/pv"
 	"solarcore/internal/sched"
 	"solarcore/internal/sim"
+	"solarcore/internal/stream"
 	"solarcore/internal/workload"
 )
 
@@ -250,6 +251,41 @@ func BenchmarkRunMPPTDisarmedFaults(b *testing.B) {
 		b.Fatal(err)
 	}
 	r := benchRunner(b, solarcore.WithFaults(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunMPPTStreamPublisher runs the same day with a live stream
+// publisher attached and no subscribers: every hook event is marshaled
+// onto the topic's ring. This is the full publish-side cost of
+// GET /v1/stream (DESIGN.md §17).
+func BenchmarkRunMPPTStreamPublisher(b *testing.B) {
+	hub := stream.NewHub(stream.Config{})
+	topic, _ := hub.Ensure("bench")
+	r := benchRunner(b, solarcore.WithObserver(stream.NewPublisher(topic)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunMPPTStreamSubscriber adds one attached, idle subscriber
+// (connected, never reading). The acceptance budget is <1% over the
+// no-subscriber publisher path: an idle or blocked watcher must cost the
+// simulation nothing beyond one wakeup signal, and must never stall a
+// tick (the drop-oldest slow-consumer policy absorbs the lag).
+func BenchmarkRunMPPTStreamSubscriber(b *testing.B) {
+	hub := stream.NewHub(stream.Config{})
+	topic, _ := hub.Ensure("bench")
+	sub := topic.Subscribe(0)
+	defer sub.Close()
+	r := benchRunner(b, solarcore.WithObserver(stream.NewPublisher(topic)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Run(); err != nil {

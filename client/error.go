@@ -131,6 +131,21 @@ func WriteError(w http.ResponseWriter, status int, code, msg string) {
 	_ = json.NewEncoder(w).Encode(errorEnvelope{wireError{Code: code, Message: msg, RetryAfterMs: ms}})
 }
 
+// ErrorBody encodes the v1 error envelope as a standalone JSON value —
+// the payload of a terminal SSE "error" frame, where the envelope
+// travels as event data instead of a response body. DecodeError (with a
+// zero status and nil header) decodes it back into the same *APIError a
+// failing request would produce.
+func ErrorBody(code, msg string, retryAfterMs int64) []byte {
+	b, err := json.Marshal(errorEnvelope{wireError{Code: code, Message: msg, RetryAfterMs: retryAfterMs}})
+	if err != nil {
+		// The envelope is strings and an int; Marshal cannot fail. Keep a
+		// well-formed fallback regardless.
+		return []byte(`{"error":{"code":"internal","message":"error encode failure"}}`)
+	}
+	return b
+}
+
 // DecodeError builds the APIError for a non-2xx response — the single
 // client-side envelope decoder. Responses produced outside the handler
 // layer (the mux's 405s, proxies) may not carry the envelope; those

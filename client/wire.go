@@ -14,11 +14,13 @@
 package client
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"solarcore"
@@ -148,6 +150,41 @@ const (
 // MaxBodyBytes bounds request bodies server-side; a RunSpec is a few
 // hundred bytes, a full sweep a few kilobytes.
 const MaxBodyBytes = 1 << 20
+
+// UnmarshalStrict decodes one strict JSON value from data — unknown
+// fields and trailing garbage are errors, like ReadJSON — for request
+// payloads that arrive outside a body, such as the /v1/stream `spec`
+// query parameter.
+func UnmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad spec: %v", err)
+	}
+	if dec.More() {
+		return errors.New("bad spec: trailing data")
+	}
+	return nil
+}
+
+// HeaderLastEventID is the SSE resume header: a client reconnecting to
+// /v1/stream sends the last event sequence number it saw, and the server
+// resumes strictly after it. The engine is deterministic, so a cursor is
+// valid against any replica of the same spec.
+const HeaderLastEventID = "Last-Event-ID"
+
+// ParseLastEventID parses a HeaderLastEventID value: a decimal event
+// sequence number. Empty means "from the start".
+func ParseLastEventID(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q: not a decimal sequence number", HeaderLastEventID, s)
+	}
+	return n, nil
+}
 
 // ReadJSON decodes one strict JSON value from the request body: unknown
 // fields and trailing data are errors, so typos in spec fields fail

@@ -7,12 +7,14 @@
 //
 //	solard [-addr 127.0.0.1:8090] [-inflight 0] [-queue 0] [-cache 1024] \
 //	       [-timeout 30s] [-grace 10s] [-access path|-] [-ratelimit 0] \
-//	       [-store.dir /abs/path] [-store.maxbytes 268435456]
+//	       [-store.dir /abs/path] [-store.maxbytes 268435456] \
+//	       [-stream.maxevents 16384]
 //
 // Endpoints:
 //
 //	POST /v1/run      one day: RunSpec JSON in, DayResult JSON out
 //	POST /v1/sweep    batch of specs over the bounded worker pool
+//	GET  /v1/stream   live/replayed run event feed as Server-Sent Events
 //	GET  /v1/policies Table 6 policy names
 //	GET  /metrics     serve_* metrics registry snapshot as JSON
 //	GET  /healthz     200 serving, 503 draining
@@ -33,7 +35,12 @@
 // launches from different places would look like an empty cache.
 // -store.maxbytes caps the store's disk footprint (default 256 MiB;
 // oldest records are evicted first) and must be positive. The boot
-// warm start is announced as "solard: store warmed ...". On
+// warm start is announced as "solard: store warmed ...".
+//
+// -stream.maxevents bounds each live stream topic's retained history
+// (internal/stream, DESIGN.md §17): a subscriber lagging further than
+// that sees an explicit gap event instead of silently missing lines.
+// 0 disables GET /v1/stream entirely (it answers 404). On
 // SIGINT/SIGTERM the server drains: /healthz starts failing, new
 // simulations are refused, both with Retry-After, in-flight requests
 // finish (bounded by -grace), and the process exits 0.
@@ -56,6 +63,7 @@ import (
 	"solarcore/internal/serve"
 	"solarcore/internal/sigctx"
 	"solarcore/internal/store"
+	"solarcore/internal/stream"
 )
 
 func main() {
@@ -127,6 +135,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	ratelimit := fs.Int("ratelimit", 0, "max simulation requests per second (0 = unlimited)")
 	storeDir := fs.String("store.dir", "", "durable result-store directory, absolute path (empty = off)")
 	storeMax := fs.Int64("store.maxbytes", store.DefaultMaxBytes, "durable-store disk budget in bytes")
+	streamMax := fs.Int("stream.maxevents", stream.DefaultMaxEvents, "per-run stream history bound (0 = disable /v1/stream)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -144,6 +153,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *storeMax < 1 {
 		return fail(stderr, "-store.maxbytes must be at least 1 byte")
+	}
+	if *streamMax < 0 {
+		return fail(stderr, "-stream.maxevents must be >= 0")
 	}
 
 	var sink *obs.JSONLSink
@@ -181,6 +193,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			records, st.Bytes(), quarantined, ms, *storeDir)
 	}
 
+	var hub *stream.Hub
+	if *streamMax > 0 {
+		hub = stream.NewHub(stream.Config{MaxEvents: *streamMax, Registry: reg})
+	}
+
 	srv := serve.New(serve.Config{
 		MaxInflight:  *inflight,
 		MaxQueue:     *queue,
@@ -188,6 +205,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		RunTimeout:   *timeout,
 		Registry:     reg,
 		Store:        st,
+		Stream:       hub,
 		AccessLog:    sink,
 		Clock:        time.Now,
 	})

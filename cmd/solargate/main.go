@@ -16,8 +16,13 @@
 //	POST /v1/run      routed to the spec's ring owner; X-Gate reports
 //	                  primary/hedged/retried, X-Gate-Backend the node
 //	POST /v1/sweep    per-cell fan-out to each cell's owning shard
+//	GET  /v1/stream   SSE relay from the spec's owning shard; on a mid-
+//	                  stream backend failure the gate reconnects (next
+//	                  owner if ejected) with Last-Event-ID, so watchers
+//	                  see one gapless sequence across the fail-over
 //	GET  /v1/policies proxied to a healthy node (identical fleet-wide)
 //	GET  /metrics     fleet-wide merge: route_* + every node's serve_*
+//	                  and stream_* counters
 //	GET  /healthz     200 while routable, 503 draining or fleet dark
 //
 // -hedge 0 (the default) derives the hedge delay from the live p95 of

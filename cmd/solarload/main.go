@@ -7,7 +7,7 @@
 //
 //	solarload -url http://127.0.0.1:8090 [-n 2000] [-dur 0] [-c 16] \
 //	          [-site AZ] [-season Jul] [-mix HM2] [-policy MPPT&Opt] \
-//	          [-step 8] [-distinct 1] [-timeout 10s] [-check]
+//	          [-step 8] [-distinct 1] [-timeout 10s] [-check] [-stream]
 //
 // -n sends a fixed request count; -dur sends for a fixed duration
 // (whichever stops first when both are set). -c is the concurrent
@@ -15,7 +15,10 @@
 // distinct specs, so 1 measures the pure cached/coalesced fast path and
 // larger values force cache misses (and, against a gate, spread keys
 // across the ring). -check probes /healthz and a single /v1/run instead
-// of generating load (the scripts/check.sh smoke).
+// of generating load (the scripts/check.sh smoke). -stream watches one
+// run's GET /v1/stream event feed instead: it consumes the whole
+// sequence (live or replayed), reports events/s with per-type counts,
+// and fails unless the stream ends with a run_end event.
 //
 // The report breaks latency down per disposition: the backend's cache
 // verdict (hit/miss/coalesced) and, through a gate, the route verdict
@@ -104,6 +107,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	distinct := fs.Int("distinct", 1, "rotate the day index over this many distinct specs")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	check := fs.Bool("check", false, "probe /healthz and one /v1/run, then exit")
+	streamMode := fs.Bool("stream", false, "watch one run's /v1/stream event feed, report events/s, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -128,6 +132,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	if *check {
 		return runCheck(ctx, cli, spec, *timeout, stdout, stderr)
+	}
+	if *streamMode {
+		return runStream(ctx, cli, spec, *timeout, stdout, stderr)
 	}
 
 	// Pre-build the typed requests: one per distinct day index.
@@ -281,6 +288,61 @@ func printServerCounters(ctx context.Context, cli *client.Client, stdout io.Writ
 			snap.Counters[route.MetricHedgeWins], snap.Counters[route.MetricRetries],
 			snap.Gauges[route.MetricBackendsHealthy])
 	}
+}
+
+// runStream is the -stream watcher: it opens the spec's event feed,
+// drains it to the end and reports the consumption rate. Gap events are
+// surfaced explicitly (a gapped watch is a lossy one), and a stream
+// that ends on anything but run_end fails the probe.
+func runStream(ctx context.Context, cli *client.Client, spec solarcore.RunSpec, timeout time.Duration, stdout, stderr io.Writer) int {
+	sctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	st, err := cli.Stream(sctx, client.StreamRequest{RunRequest: client.RunRequest{RunSpec: spec}})
+	if err != nil {
+		return fail(stderr, "stream: %v", err)
+	}
+	defer func() { _ = st.Close() }()
+	counts := map[string]int{}
+	var events int
+	var dropped uint64
+	var lastType string
+	start := time.Now()
+	for {
+		ev, err := st.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fail(stderr, "stream: %v", err)
+		}
+		events++
+		counts[ev.Type]++
+		lastType = ev.Type
+		if ev.Type == obs.TypeGap && ev.Event != nil && ev.Event.Gap != nil {
+			dropped += ev.Event.Gap.Dropped
+		}
+	}
+	secs := time.Since(start).Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(events) / secs
+	}
+	pf(stdout, "stream       : %d events in %.2f s (%.0f events/s), resume cursor %d\n",
+		events, secs, rate, st.LastEventID())
+	// Stable order: lifecycle frame types first, then anything else.
+	for _, typ := range []string{obs.TypeRunStart, obs.TypeTrack, obs.TypeAlloc,
+		obs.TypeTick, obs.TypeFault, obs.TypeWatchdog, obs.TypeGap, obs.TypeRunEnd} {
+		if counts[typ] > 0 {
+			pf(stdout, "  %-11s: %d\n", typ, counts[typ])
+		}
+	}
+	if dropped > 0 {
+		pf(stdout, "  gapped      : %d events dropped by the hub's bounded history\n", dropped)
+	}
+	if lastType != obs.TypeRunEnd {
+		return fail(stderr, "stream ended on %q, want %q", lastType, obs.TypeRunEnd)
+	}
+	return 0
 }
 
 // runCheck is the -check probe: /healthz must answer 200 and one

@@ -2,6 +2,8 @@ package obs_test
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -26,15 +28,22 @@ func FuzzReadEvents(f *testing.F) {
 	f.Add("\x00\x01\x02 not json at all")
 	f.Add(`[]`)
 	f.Add(`{"v":1,"type":"track","track":{"levels":[0.5,1.5]}}`)
+	// Torn tails: a valid prefix followed by a crash-truncated final line
+	// (no trailing newline) must salvage the prefix with io.ErrUnexpectedEOF.
+	f.Add(`{"v":1,"type":"run_end","run_end":{}}` + "\n" + `{"v":1,"type":"tick","tick":{"minu`)
+	f.Add(`{"v":1,"type":"gap","gap":{"dropped":3}}` + "\n" + `{"v":1,`)
 	f.Fuzz(func(t *testing.T, line string) {
+		// Whether ReadEvents fails or salvages a torn tail, every event it
+		// hands back must satisfy the envelope invariants.
 		events, err := obs.ReadEvents(strings.NewReader(line))
-		if err != nil {
-			return // a clean rejection is a valid outcome
-		}
 		for i, ev := range events {
 			if verr := ev.Validate(); verr != nil {
-				t.Fatalf("ReadEvents accepted event %d that fails Validate: %v\ninput: %q", i, verr, line)
+				t.Fatalf("ReadEvents returned event %d that fails Validate (err=%v): %v\ninput: %q",
+					i, err, verr, line)
 			}
+		}
+		if err != nil && len(events) > 0 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("partial events with a non-torn error %v\ninput: %q", err, line)
 		}
 	})
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,6 +27,20 @@ const (
 
 // TypeStore is the Event.Type discriminator of a StoreEvent line.
 const TypeStore = "store"
+
+// TypeGap is the Event.Type discriminator of a GapEvent line.
+const TypeGap = "gap"
+
+// GapEvent marks a hole in a live event stream: a slow subscriber (or a
+// truncated durable tail) missed Dropped events that the hub's bounded
+// ring had already discarded (DESIGN.md §17). A stream carrying gap
+// lines is explicitly gapped — consumers see the loss instead of a
+// silently shortened sequence.
+type GapEvent struct {
+	// Dropped is how many consecutive events are missing before the next
+	// line of the stream.
+	Dropped uint64 `json:"dropped"`
+}
 
 // Store-event operation labels (StoreEvent.Op).
 const (
@@ -82,6 +97,7 @@ type Event struct {
 	Watchdog *WatchdogEvent `json:"watchdog,omitempty"`
 	Access   *AccessEvent   `json:"access,omitempty"`
 	Store    *StoreEvent    `json:"store,omitempty"`
+	Gap      *GapEvent      `json:"gap,omitempty"`
 }
 
 // Validate checks the envelope invariants: a known schema version and
@@ -117,6 +133,9 @@ func (e Event) Validate() error {
 	}
 	if e.Store != nil {
 		set = append(set, TypeStore)
+	}
+	if e.Gap != nil {
+		set = append(set, TypeGap)
 	}
 	if len(set) != 1 {
 		return fmt.Errorf("obs: event %q carries %d payloads (want exactly 1)", e.Type, len(set))
@@ -202,20 +221,46 @@ func (s *JSONLSink) Close() error { return s.Flush() }
 
 // ReadEvents decodes and validates a JSONL event stream written by
 // JSONLSink, returning every event in order. It fails on the first
-// malformed or schema-violating line, identifying it by number.
+// malformed or schema-violating line, identifying it by number — with
+// one exception: a torn final line (no trailing newline and not a valid
+// event — the signature of a crash-truncated tail) returns every event
+// before it together with an error wrapping io.ErrUnexpectedEOF, so
+// callers can keep the salvageable prefix and test the cause with
+// errors.Is. A final line that parses and validates but merely lacks its
+// newline is accepted whole.
 func ReadEvents(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
 	var events []Event
 	for line := 1; ; line++ {
-		var ev Event
-		if err := dec.Decode(&ev); err == io.EOF {
-			return events, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		raw, rerr := br.ReadBytes('\n')
+		torn := false
+		switch {
+		case rerr == io.EOF:
+			if len(bytes.TrimSpace(raw)) == 0 {
+				return events, nil
+			}
+			torn = true
+		case rerr != nil:
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, rerr)
 		}
-		if err := ev.Validate(); err != nil {
+		trimmed := bytes.TrimSpace(raw)
+		if len(trimmed) == 0 {
+			continue
+		}
+		var ev Event
+		err := json.Unmarshal(trimmed, &ev)
+		if err == nil {
+			err = ev.Validate()
+		}
+		if err != nil {
+			if torn {
+				return events, fmt.Errorf("obs: jsonl line %d truncated: %w (%v)", line, io.ErrUnexpectedEOF, err)
+			}
 			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
 		}
 		events = append(events, ev)
+		if torn {
+			return events, nil
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"reflect"
 	"strings"
 	"testing"
@@ -130,6 +131,49 @@ func TestReadEventsRejectsMalformedLine(t *testing.T) {
 	_, err := ReadEvents(strings.NewReader(in))
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Errorf("want line-2 validation error, got %v", err)
+	}
+}
+
+func TestReadEventsTornFinalLine(t *testing.T) {
+	valid := `{"v":1,"type":"tick","tick":{"minute":1,"budget_w":2,"demand_w":1,"on_solar":true}}`
+	cases := []struct {
+		name string
+		in   string
+		want int  // events salvaged
+		torn bool // error wraps io.ErrUnexpectedEOF
+	}{
+		// A crash mid-write leaves a half line with no trailing newline:
+		// the intact prefix is salvageable, the cause is identifiable.
+		{"truncated mid-value", valid + "\n" + `{"v":1,"type":"tick","tick":{"minu`, 1, true},
+		{"truncated mid-envelope", valid + "\n" + valid + "\n" + `{"v":1,`, 2, true},
+		{"torn only line", `{"v":1,"ty`, 0, true},
+		// A final line that parses whole but merely lost its newline is a
+		// complete stream, not a torn one.
+		{"valid line missing newline", valid + "\n" + valid, 2, false},
+		{"single valid line missing newline", valid, 1, false},
+	}
+	for _, c := range cases {
+		events, err := ReadEvents(strings.NewReader(c.in))
+		if c.torn {
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("%s: err = %v, want io.ErrUnexpectedEOF", c.name, err)
+			}
+		} else if err != nil {
+			t.Errorf("%s: err = %v, want nil", c.name, err)
+		}
+		if len(events) != c.want {
+			t.Errorf("%s: salvaged %d events, want %d", c.name, len(events), c.want)
+		}
+		for i, ev := range events {
+			if verr := ev.Validate(); verr != nil {
+				t.Errorf("%s: salvaged event %d invalid: %v", c.name, i, verr)
+			}
+		}
+	}
+	// Mid-file corruption (the bad line has a newline after it) stays a
+	// hard error: only a torn *tail* is salvage-worthy.
+	if _, err := ReadEvents(strings.NewReader(`{"v":1,` + "\n" + valid + "\n")); err == nil || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-file corruption: err = %v, want hard non-EOF error", err)
 	}
 }
 

@@ -38,6 +38,10 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flush through the recorder (the stream relay flushes per event).
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // countPanic records one contained panic (single registration site for
 // the counter).
 func (rt *Router) countPanic() {

@@ -57,6 +57,14 @@ const (
 	MetricReadmissions = "route_readmissions_total"
 	// MetricPanics counts handler panics contained by the middleware.
 	MetricPanics = "route_panics_total"
+	// MetricStreams counts /v1/stream relays committed to a watcher.
+	MetricStreams = "route_streams_total"
+	// MetricStreamEvents counts identified SSE events relayed downstream
+	// (heartbeats and gap frames carry no id and are not counted).
+	MetricStreamEvents = "route_stream_events_total"
+	// MetricStreamReconnects counts mid-stream fail-overs to another
+	// backend connection with a Last-Event-ID resume.
+	MetricStreamReconnects = "route_stream_reconnects_total"
 	// MetricUpstreamMs is a histogram of successful upstream attempt
 	// latencies in milliseconds (zero without a Config.Clock).
 	MetricUpstreamMs = "route_upstream_ms"
@@ -266,6 +274,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux = http.NewServeMux()
 	rt.mux.Handle("POST /v1/run", rt.instrument("/v1/run", rt.handleRun))
 	rt.mux.Handle("POST /v1/sweep", rt.instrument("/v1/sweep", rt.handleSweep))
+	rt.mux.Handle("GET /v1/stream", rt.instrument("/v1/stream", rt.handleStream))
 	rt.mux.Handle("GET /v1/policies", rt.instrument("/v1/policies", rt.handlePolicies))
 	rt.mux.Handle("GET /metrics", rt.instrument("/metrics", rt.handleMetrics))
 	rt.mux.Handle("GET /healthz", rt.instrument("/healthz", rt.handleHealthz))

@@ -32,6 +32,10 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flush through the recorder (the SSE handler flushes per event).
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // headerCache is the response header simulation handlers set to report
 // the cache disposition; the middleware copies it into the access log.
 // The name itself belongs to the wire contract package.

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"solarcore/internal/lru"
 	"solarcore/internal/obs"
 	"solarcore/internal/store"
+	"solarcore/internal/stream"
 )
 
 // Server metric names, kept in the obs.Registry exported by /metrics
@@ -102,6 +104,14 @@ type Config struct {
 	// computed result is persisted — so a kill -9 and restart replays
 	// cached results byte-identically instead of recomputing.
 	Store *store.Store
+	// Stream, when non-nil, enables GET /v1/stream: live runs publish
+	// their obs events into per-run hub topics, watchers attach as SSE
+	// subscribers, and completed runs replay their durable event tail
+	// (DESIGN.md §17). nil serves 404 on the route.
+	Stream *stream.Hub
+	// Heartbeat is the idle interval after which /v1/stream emits a
+	// keep-alive comment (default 15s).
+	Heartbeat time.Duration
 	// AccessLog, when non-nil, receives one obs.AccessEvent JSON line per
 	// completed request.
 	AccessLog *obs.JSONLSink
@@ -132,6 +142,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweep < 1 {
 		c.MaxSweep = 64
 	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 15 * time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -160,9 +173,10 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	// runSpec executes one validated spec; tests substitute a fake to
-	// exercise coalescing and backpressure without simulating.
-	runSpec func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error)
+	// runSpec executes one validated spec, streaming events to o when
+	// non-nil; tests substitute a fake to exercise coalescing and
+	// backpressure without simulating.
+	runSpec func(ctx context.Context, spec solarcore.RunSpec, o obs.Observer) (*solarcore.DayResult, error)
 
 	mux *http.ServeMux
 }
@@ -180,22 +194,31 @@ func New(cfg Config) *Server {
 	})
 	s.group.init()
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
-	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
-		return spec.Run(ctx)
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec, o obs.Observer) (*solarcore.DayResult, error) {
+		if o == nil {
+			return spec.Run(ctx)
+		}
+		return spec.Run(ctx, solarcore.WithObserver(o))
 	}
 	// Warm-start the memory cache from the durable layer: most recent
 	// records are inserted last so the LRU's recency order matches the
 	// store's. Payloads were CRC-verified by Recent; a cold or empty
-	// store simply starts the cache empty, exactly as before.
+	// store simply starts the cache empty, exactly as before. Event-tail
+	// records (the "-ev" companions of /v1/stream replay) are JSONL
+	// streams, not result bodies — they stay on disk only.
 	if cfg.Store != nil {
 		recent := cfg.Store.Recent(cfg.CacheEntries)
 		for i := len(recent) - 1; i >= 0; i-- {
+			if strings.HasSuffix(recent[i].Key, evSuffix) {
+				continue
+			}
 			s.cache.Put(recent[i].Key, recent[i].Body)
 		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/run", s.instrument("/v1/run", s.handleRun))
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.Handle("GET /v1/stream", s.instrument("/v1/stream", s.handleStream))
 	s.mux.Handle("GET /v1/policies", s.instrument("/v1/policies", s.handlePolicies))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -277,10 +300,23 @@ func (s *Server) timeout(requestedMs int) time.Duration {
 // base context plus the effective deadline — so one impatient client
 // cannot cancel a run other clients (or the cache) still want.
 func (s *Server) Result(ctx context.Context, spec solarcore.RunSpec, timeoutMs int) ([]byte, string, error) {
+	return s.result(ctx, spec, timeoutMs, nil)
+}
+
+// result is Result plus the streaming lead path: a non-nil observer
+// marks the caller as a stream feeder that needs the run's events, not
+// just its bytes — so the cache and durable-store replay shortcuts are
+// skipped (they have no events to give) and the simulation always runs,
+// with o attached, on the same singleflight key as /v1/run. A feeder
+// that loses the flight race joins a leader without its observer; the
+// disposition obs.CacheCoalesced tells it to retry (stream.go).
+func (s *Server) result(ctx context.Context, spec solarcore.RunSpec, timeoutMs int, o obs.Observer) ([]byte, string, error) {
 	key := spec.Hash()
-	if body, ok := s.cache.Get(key); ok {
-		s.reg.Add(MetricCacheHits, 1)
-		return body, obs.CacheHit, nil
+	if o == nil {
+		if body, ok := s.cache.Get(key); ok {
+			s.reg.Add(MetricCacheHits, 1)
+			return body, obs.CacheHit, nil
+		}
 	}
 	s.reg.Add(MetricCacheMisses, 1)
 	fromStore := false // leader-only; read after Do when shared is false
@@ -291,7 +327,7 @@ func (s *Server) Result(ctx context.Context, spec solarcore.RunSpec, timeoutMs i
 		// Durable layer: a verified disk record replays byte-identically
 		// without burning a worker slot. Coalesced followers share the
 		// read like they would share a simulation.
-		if s.cfg.Store != nil {
+		if o == nil && s.cfg.Store != nil {
 			if b, ok := s.cfg.Store.Get(key); ok {
 				s.cache.Put(key, b)
 				fromStore = true
@@ -307,7 +343,7 @@ func (s *Server) Result(ctx context.Context, spec solarcore.RunSpec, timeoutMs i
 		s.reg.Set(MetricInflight, float64(s.inflight.Add(1)))
 		defer func() { s.reg.Set(MetricInflight, float64(s.inflight.Add(-1))) }()
 		start := s.cfg.Clock()
-		res, err := s.runSpec(runCtx, spec)
+		res, err := s.runSpec(runCtx, spec, o)
 		if err != nil {
 			return nil, err
 		}

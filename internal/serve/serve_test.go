@@ -123,7 +123,7 @@ func TestHandlerValidation(t *testing.T) {
 // for both the request envelope and individual sweep cells.
 func TestWireVersionGate(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec, _ obs.Observer) (*solarcore.DayResult, error) {
 		return fakeResult("versioned"), nil
 	}
 	for _, body := range []string{`{"step_min":8}`, `{"v":1,"step_min":8}`} {
@@ -258,7 +258,7 @@ func TestCoalescingSharesOneRun(t *testing.T) {
 	var calls atomic.Int64
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec, _ obs.Observer) (*solarcore.DayResult, error) {
 		calls.Add(1)
 		close(entered)
 		<-release
@@ -350,7 +350,7 @@ func TestBackpressureRejectsBeyondQueue(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1, Registry: reg})
 	release := make(chan struct{})
 	entered := make(chan struct{}, 4)
-	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec, _ obs.Observer) (*solarcore.DayResult, error) {
 		entered <- struct{}{}
 		<-release
 		return fakeResult("slow"), nil
@@ -402,7 +402,7 @@ func TestBackpressureRejectsBeyondQueue(t *testing.T) {
 // ctx; the blown run deadline must surface as 504, not hang.
 func TestRunDeadlineMapsTo504(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec, _ obs.Observer) (*solarcore.DayResult, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
@@ -419,7 +419,7 @@ func TestCacheEvictionOrderThroughServer(t *testing.T) {
 	reg := obs.NewRegistry()
 	s, ts := newTestServer(t, Config{CacheEntries: 2, Registry: reg})
 	var calls atomic.Int64
-	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec, _ obs.Observer) (*solarcore.DayResult, error) {
 		calls.Add(1)
 		return fakeResult(fmt.Sprintf("day-%d", spec.Day)), nil
 	}
@@ -458,7 +458,7 @@ func TestPanicContainment(t *testing.T) {
 	reg := obs.NewRegistry()
 	s, ts := newTestServer(t, Config{Registry: reg})
 	var calls atomic.Int64
-	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec, _ obs.Observer) (*solarcore.DayResult, error) {
 		if calls.Add(1) == 1 {
 			panic("synthetic run failure")
 		}
@@ -483,7 +483,7 @@ func TestPanicContainment(t *testing.T) {
 func TestSweepFansOutAndReportsPerItem(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxInflight: 2})
 	var calls atomic.Int64
-	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec, _ obs.Observer) (*solarcore.DayResult, error) {
 		calls.Add(1)
 		return fakeResult(fmt.Sprintf("day-%d", spec.Day)), nil
 	}
@@ -529,7 +529,7 @@ func TestAccessLogRecordsRequests(t *testing.T) {
 	var mu sync.Mutex
 	sink := obs.NewJSONLSink(&lockedWriter{w: &buf, mu: &mu})
 	s, ts := newTestServer(t, Config{AccessLog: sink})
-	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(ctx context.Context, spec solarcore.RunSpec, _ obs.Observer) (*solarcore.DayResult, error) {
 		return fakeResult("logged"), nil
 	}
 	postJSON(t, ts, "/v1/run", `{"step_min":8}`)

@@ -30,7 +30,7 @@ func stubbed(t *testing.T, cfg Config, label string) (*Server, *int) {
 	s := New(cfg)
 	t.Cleanup(func() { _ = s.Close() })
 	runs := 0
-	s.runSpec = func(context.Context, solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(context.Context, solarcore.RunSpec, obs.Observer) (*solarcore.DayResult, error) {
 		runs++
 		return fakeResult(label), nil
 	}
@@ -59,7 +59,7 @@ func TestStoreBackedRestartReplaysByteIdentically(t *testing.T) {
 	st2 := openStoreT(t, dir)
 	s2 := New(Config{Store: st2, CacheEntries: 1}) // tiny mem front
 	t.Cleanup(func() { _ = s2.Close() })
-	s2.runSpec = func(context.Context, solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s2.runSpec = func(context.Context, solarcore.RunSpec, obs.Observer) (*solarcore.DayResult, error) {
 		t.Error("restarted server re-simulated a durably cached spec")
 		return fakeResult("gen2"), nil
 	}
@@ -117,7 +117,7 @@ func TestWarmStartFillsMemoryCache(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := New(Config{Store: st, Registry: reg})
 	t.Cleanup(func() { _ = s.Close() })
-	s.runSpec = func(context.Context, solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(context.Context, solarcore.RunSpec, obs.Observer) (*solarcore.DayResult, error) {
 		return nil, errors.New("must not simulate")
 	}
 	body, src, err := s.Result(context.Background(), fastSpec, 0)
@@ -133,7 +133,7 @@ func TestWarmStartFillsMemoryCache(t *testing.T) {
 // /v1/run 200 declares a checksum the client can verify.
 func TestRunResponseCarriesBodySum(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	s.runSpec = func(context.Context, solarcore.RunSpec) (*solarcore.DayResult, error) {
+	s.runSpec = func(context.Context, solarcore.RunSpec, obs.Observer) (*solarcore.DayResult, error) {
 		return fakeResult("summed"), nil
 	}
 	resp, body := postJSON(t, ts, "/v1/run", `{"site":"AZ","season":"Jul","mix":"HM2","step_min":8}`)

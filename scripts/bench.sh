@@ -10,6 +10,9 @@
 #                         request count, so every request is a cache
 #                         miss running a full simulation (the fill-path
 #                         rate the hotcost budgets guard)
+#   stream_events_per_sec — solarload -stream consumption rate of one
+#                         whole run over GET /v1/stream: live SSE from
+#                         simulation through the hub to a typed watcher
 #   fleet3_req_per_sec  — solarload sustained rate on the cached path
 #                         through a solargate fronting three solard
 #                         nodes (uncapped; on a single host this mostly
@@ -67,6 +70,11 @@ echo '== serve: solarload (uncached fill path)'
 "$workdir/solarload" -url "$url" -n 512 -c 4 -distinct 512 > "$workdir/load-uncached.txt"
 uncached_s="$(sed -n 's/.*(\([0-9][0-9]*\) req\/s sustained).*/\1/p' "$workdir/load-uncached.txt")"
 [ -n "$uncached_s" ] || { echo 'solarload printed no sustained rate'; cat "$workdir/load-uncached.txt"; exit 1; }
+
+echo '== serve: solarload -stream (live event watch over /v1/stream)'
+"$workdir/solarload" -url "$url" -stream -step 8 -timeout 30s > "$workdir/stream.txt"
+stream_s="$(sed -n 's/.*(\([0-9][0-9]*\) events\/s).*/\1/p' "$workdir/stream.txt")"
+[ -n "$stream_s" ] || { echo 'stream watch printed no event rate'; cat "$workdir/stream.txt"; exit 1; }
 kill -TERM "$solard_pid"
 wait "$solard_pid" || true
 solard_pid=''
@@ -164,6 +172,7 @@ cat > "$out" <<JSON
   "sim_ns_per_day": $sim_ns,
   "served_req_per_sec": $req_s,
   "uncached_req_per_sec": $uncached_s,
+  "stream_events_per_sec": $stream_s,
   "fleet3_req_per_sec": $fleet_s,
   "warm_start_ms": $warm_ms,
   "store_hit_req_per_sec": $store_s,

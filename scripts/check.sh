@@ -10,17 +10,19 @@
 #                    solarvet lint gate (lint_test.go) runs here too, so
 #                    a tree that passes this script is lint-clean
 #   solarvet -json — the full static-analysis report, written to
-#                    solarvet-report.json (CI uploads it as an
-#                    artifact); the gate itself already ran inside
-#                    go test, this step preserves the machine-readable
-#                    evidence
+#                    artifacts/solarvet-report.json (the gitignored
+#                    artifacts/ directory; CI uploads it); the gate
+#                    itself already ran inside go test, this step
+#                    preserves the machine-readable evidence
 #   go test -race  — the packages that exercise goroutines or share
 #                    state across steps
 #   fuzz smoke     — a few seconds of coverage-guided fuzzing on the
 #                    JSONL event decoder
 #   serving smoke  — boot a real solard on an ephemeral port, probe
 #                    /healthz and /v1/run over HTTP, then drive a short
-#                    solarload run and check a clean SIGTERM drain
+#                    solarload run, watch a whole run over GET
+#                    /v1/stream (live SSE, terminal run_end) and check
+#                    a clean SIGTERM drain
 #
 # Run from anywhere inside the repository.
 set -eu
@@ -43,14 +45,15 @@ go vet ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== solarvet -json report (solarvet-report.json)'
-go run ./cmd/solarvet -json > solarvet-report.json
+echo '== solarvet -json report (artifacts/solarvet-report.json)'
+mkdir -p artifacts
+go run ./cmd/solarvet -json > artifacts/solarvet-report.json
 
-echo '== go test -race (root, exp, sim, dc, obs, fault, lint, lru, serve, route, client, store, chaos, solarfleet, solargate)'
+echo '== go test -race (root, exp, sim, dc, obs, fault, lint, lru, serve, route, client, store, stream, chaos, solarfleet, solargate)'
 go test -race . ./internal/exp ./internal/sim ./internal/dc ./internal/obs \
     ./internal/fault ./internal/lint ./internal/lru ./internal/serve \
-    ./internal/route ./client ./internal/store ./internal/chaos \
-    ./cmd/solarfleet ./cmd/solargate
+    ./internal/route ./client ./internal/store ./internal/stream \
+    ./internal/chaos ./cmd/solarfleet ./cmd/solargate
 
 echo '== fault sweep (smoke)'
 go test -run 'TestFaultSweepSensorDropout' ./internal/exp
@@ -61,11 +64,11 @@ go test -run '^$' -fuzz 'FuzzReadEvents' -fuzztime 5s ./internal/obs
 echo '== fuzz: store record codec (smoke)'
 go test -run '^$' -fuzz 'FuzzStoreRecord' -fuzztime 5s ./internal/store
 
-echo '== chaos harness (silent-corruption + partition-hedging invariants)'
-go test -race -run 'TestNeverSilentCorruption|TestPartitionHedgingBoundsTailLatency' ./internal/chaos
+echo '== chaos harness (silent-corruption + partition-hedging + mid-stream-partition invariants)'
+go test -race -run 'TestNeverSilentCorruption|TestPartitionHedgingBoundsTailLatency|TestMidStreamPartitionResumesGapless' ./internal/chaos
 
-echo '== observer + disarmed-fault overhead bench (smoke)'
-go test -run '^$' -bench 'BenchmarkRunMPPT(NopObserver|DisarmedFaults)?$' -benchtime=1x .
+echo '== observer + disarmed-fault + stream overhead bench (smoke)'
+go test -run '^$' -bench 'BenchmarkRunMPPT(NopObserver|DisarmedFaults|StreamPublisher|StreamSubscriber)?$' -benchtime=1x .
 
 echo '== solard serving smoke (healthz, /v1/run, solarload, graceful drain)'
 bindir="$(mktemp -d)"
@@ -88,6 +91,20 @@ curl -fsS "$url/healthz" >/dev/null
 curl -fsS -X POST -d '{"site":"AZ","season":"Jul","mix":"HM2","step_min":8}' \
     "$url/v1/run" >/dev/null
 "$bindir/solarload" -url "$url" -n 2000 -c 16 -step 8
+
+echo '== SSE stream smoke (/v1/stream live watch, event count + terminal run_end)'
+# Raw wire first: one curl watch must end with a run_end SSE frame.
+curl -fsS "$url/v1/stream?spec=%7B%22step_min%22%3A8%2C%22day%22%3A1%7D" > "$bindir/sse.txt"
+grep -q '^event: run_end$' "$bindir/sse.txt" \
+    || { echo 'curl stream carried no terminal run_end frame'; tail "$bindir/sse.txt"; exit 1; }
+# Then the typed watcher: solarload -stream drains the whole feed,
+# fails itself unless the stream ends on run_end, and reports counts.
+"$bindir/solarload" -url "$url" -stream -step 8 > "$bindir/stream.txt"
+cat "$bindir/stream.txt"
+events="$(sed -n 's/^stream       : \([0-9][0-9]*\) events.*/\1/p' "$bindir/stream.txt")"
+[ -n "$events" ] && [ "$events" -ge 10 ] \
+    || { echo "stream watch saw '$events' events, want >= 10"; exit 1; }
+
 kill -TERM "$solard_pid"
 wait "$solard_pid"
 grep -q 'drained, exiting' "$logfile" || { echo 'solard did not drain cleanly'; cat "$logfile"; exit 1; }
